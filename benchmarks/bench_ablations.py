@@ -1,0 +1,27 @@
+"""Ablation benches: the design-choice studies DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_sobel_strategy_ablation(save_report, benchmark):
+    rows = benchmark(ablations.run_sobel)
+    save_report("ablation_sobel", ablations.report_sobel(rows))
+    for r in rows:
+        assert r.vector_time < r.scalar_time
+
+
+def test_reduction_layout_ablation(save_report, benchmark):
+    rows = benchmark(ablations.run_reduction_layout)
+    save_report("ablation_reduction_layout",
+                ablations.report_reduction_layout(rows))
+    best = ablations.best_reduction_layout(rows)
+    paper = [r for r in rows if r.wg == 128 and r.ept == 8][0]
+    # The paper's layout is competitive with the sweep's winner.
+    assert paper.time <= 1.15 * best.time
+
+
+def test_fusion_traffic_ablation(save_report, benchmark):
+    rows = benchmark(ablations.run_fusion)
+    save_report("ablation_fusion", ablations.report_fusion(rows))
+    for r in rows:
+        assert r.fused_time < r.unfused_time

@@ -1,0 +1,33 @@
+"""Fig. 12: CPU vs base GPU vs optimized GPU speedup curve.
+
+Regenerates the speedup table across image sizes and benchmarks one
+optimized-pipeline simulation at 512x512 (wall time of the simulator, not
+the modelled device time).
+"""
+
+import pytest
+
+from repro.core import OPTIMIZED, GPUPipeline
+from repro.experiments import fig12_speedup, make_image
+
+from .conftest import bench_sizes
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig12_speedup.run(bench_sizes(), validate=False)
+
+
+def test_fig12_report(rows, save_report, benchmark):
+    report = fig12_speedup.report(rows)
+    save_report("fig12_speedup", report)
+
+    # Shape checks against the paper before benchmarking:
+    speedups = [r.opt_speedup for r in rows]
+    assert speedups == sorted(speedups), "speedup must grow with size"
+    assert rows[0].base_speedup == pytest.approx(9.8, rel=0.25)
+    assert rows[0].opt_speedup == pytest.approx(10.7, rel=0.25)
+
+    image = make_image(512)
+    pipeline = GPUPipeline(OPTIMIZED)
+    benchmark.pedantic(pipeline.run, args=(image,), rounds=3, iterations=1)

@@ -1,0 +1,26 @@
+"""Fig. 13(a)/(b)/(c): per-stage time fractions of the three versions."""
+
+import pytest
+
+from repro.experiments import fig13_fractions
+
+from .conftest import bench_sizes
+
+
+@pytest.mark.parametrize("version", fig13_fractions.VERSIONS)
+def test_fig13_fractions(version, save_report, benchmark):
+    sizes = bench_sizes()
+    report = benchmark.pedantic(
+        fig13_fractions.report, args=(version, sizes), rounds=1,
+        iterations=1,
+    )
+    save_report(f"fig13_{version}", report)
+
+    fracs = fig13_fractions.run(version, sizes[-1:])
+    top = fig13_fractions.dominant_stages(list(fracs.values())[0])
+    if version == "cpu":
+        # Fig. 13(a): overshoot + strength dominate the CPU version.
+        assert set(top) == {"strength", "overshoot"}
+    else:
+        # Fig. 13(b)/(c): the sharpness tail no longer dominates alone.
+        assert top[0] != "sharpness"

@@ -1,0 +1,29 @@
+"""Fig. 14: performance after each optimization step."""
+
+import os
+
+import pytest
+
+from repro.experiments import fig14_stepwise
+
+
+def _sizes():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return fig14_stepwise.FIG14_SIZES  # (256, 1024, 4096)
+    return (256, 1024)
+
+
+def test_fig14_ladder(save_report, benchmark):
+    rows = benchmark.pedantic(fig14_stepwise.run, args=(_sizes(),),
+                              rounds=1, iterations=1)
+    save_report("fig14_stepwise", fig14_stepwise.report(rows))
+
+    finals = fig14_stepwise.final_speedups(rows)
+    # Paper: 1.15x at the small end; the transfer+fusion step hurts there.
+    assert finals[256] == pytest.approx(1.15, rel=0.2)
+    step1 = [r for r in rows
+             if r.size == 256 and r.step == "transfer+fusion"][0]
+    assert step1.speedup_vs_base < 1.0
+    # Gains grow with size.
+    ordered = [finals[s] for s in sorted(finals)]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,13 @@
+"""Fig. 15: unroll-one vs unroll-two wavefront reduction kernels."""
+
+from repro.experiments import fig15_unroll
+
+
+def test_fig15_unroll(save_report, benchmark):
+    rows = benchmark(fig15_unroll.run)
+    save_report("fig15_unroll", fig15_unroll.report(rows))
+
+    for r in rows:
+        # Paper: one-wavefront unrolling wins (the extra barrier hurts).
+        assert r.unroll1_time <= r.unroll2_time
+        assert r.unroll1_time < r.naive_time

@@ -1,0 +1,16 @@
+"""Fig. 16: reduction on CPU (incl. pEdge transfer) vs on GPU."""
+
+import pytest
+
+from repro.experiments import fig16_reduction
+
+
+def test_fig16_reduction(save_report, benchmark):
+    rows = benchmark(fig16_reduction.run)
+    save_report("fig16_reduction", fig16_reduction.report(rows))
+
+    speedups = [r.speedup for r in rows]
+    assert speedups == sorted(speedups), "GPU advantage grows with size"
+    # Paper: up to 30.8x at the large end.
+    assert rows[-1].speedup == pytest.approx(
+        fig16_reduction.PAPER_MAX_SPEEDUP, rel=0.3)

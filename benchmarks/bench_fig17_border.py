@@ -1,0 +1,14 @@
+"""Fig. 17: upscale border on CPU vs GPU, crossover at 768x768."""
+
+from repro.core.heuristics import border_crossover_side
+from repro.experiments import fig17_border
+
+
+def test_fig17_border(save_report, benchmark):
+    rows = benchmark(fig17_border.run)
+    save_report("fig17_border", fig17_border.report(rows))
+
+    winners = {r.size: r.winner for r in rows}
+    assert winners[704] == "cpu"
+    assert winners[768] == "gpu"
+    assert border_crossover_side() == fig17_border.PAPER_CROSSOVER

@@ -1,0 +1,14 @@
+"""Portability bench: the optimization ladder on three device models."""
+
+from repro.experiments import portability
+
+
+def test_portability_ladder(save_report, benchmark):
+    rows = benchmark.pedantic(portability.run, rounds=1, iterations=1)
+    save_report("portability", portability.report(rows))
+
+    by_device: dict[str, float] = {}
+    for r in rows:
+        by_device[r.device] = r.speedup_vs_base  # last step wins
+    # The five techniques pay off on every simulated device.
+    assert all(final > 1.5 for final in by_device.values())

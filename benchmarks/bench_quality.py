@@ -1,0 +1,14 @@
+"""Quality bench: objective output metrics across presets and workloads."""
+
+from repro.experiments import quality
+
+
+def test_quality_study(save_report, benchmark):
+    rows = benchmark.pedantic(quality.run, kwargs={"size": 256},
+                              rounds=1, iterations=1)
+    save_report("quality_study", quality.report(rows))
+
+    ringing_free = [r for r in rows if r.preset == "ringing-free"]
+    assert ringing_free
+    for r in ringing_free:
+        assert r.overshoot_fraction == 0.0

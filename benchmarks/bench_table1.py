@@ -1,0 +1,13 @@
+"""Table I: hardware platform specifications (sanity anchor).
+
+Regenerates the spec table from the simulator configuration and checks it
+against the values printed in the paper.
+"""
+
+from repro.experiments import hardware
+
+
+def test_table1(benchmark, save_report):
+    report = benchmark(hardware.report)
+    assert hardware.matches_paper()
+    save_report("table1_hardware", report)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Parameter-tuning gallery: how the user parameters shape the output.
+
+Sharpens a text-like image (the classic showcase for sharpening) under a
+grid of tuning parameters, reports objective metrics, and writes the outputs
+as PGM files you can open in any image viewer.
+
+Usage::
+
+    python examples/tuning_gallery.py [outdir]   # default ./gallery_out
+"""
+
+import pathlib
+import sys
+
+from repro import GPUPipeline, Image, OPTIMIZED
+from repro.presets import PRESET_ORDER, PRESETS
+from repro.util import images
+from repro.util.io import write_pgm
+from repro.util.metrics import sharpness_report
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1
+                          else "gallery_out")
+    outdir.mkdir(exist_ok=True)
+
+    plane = images.text_like(256, 256, seed=1)
+    image = Image.from_array(plane)
+    write_pgm(outdir / "original.pgm", image.to_u8())
+
+    grid = [(name, PRESETS[name]) for name in PRESET_ORDER]
+
+    print(f"{'preset':14s} {'PSNR':>7s} {'SSIM':>7s} {'edge gain':>10s} "
+          f"{'halo px':>8s} {'rms':>6s}")
+    for name, params in grid:
+        res = GPUPipeline(OPTIMIZED, params).run(image)
+        m = sharpness_report(plane, res.final)
+        write_pgm(outdir / f"{name}.pgm", res.final_u8())
+        print(f"{name:14s} {m['psnr']:>6.1f}dB {m['ssim']:>7.3f} "
+              f"{m['edge_gain']:>9.2f}x "
+              f"{100 * m['overshoot_fraction']:>7.2f}% "
+              f"{m['rms_change']:>6.2f}")
+
+    print(f"\nwrote {len(grid) + 1} PGM files to {outdir}/")
+    print("note how overshoot=0.0 clips halos at the local extrema while "
+          "keeping the\nedge boost — the exact job of Fig. 8's overshoot "
+          "control.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Real-time TV sharpening: the workload the paper's introduction motivates.
+
+Simulates sharpening a panning full-HD (1920x1080) brightness sequence with
+the base and the optimized GPU pipelines and reports whether each sustains
+real-time frame rates (25/30/60 fps) under the simulated device times.
+
+Usage::
+
+    python examples/tv_realtime.py [n_frames]   # default 6
+"""
+
+import sys
+
+from repro import BASE, CPUPipeline, GPUPipeline, Image, OPTIMIZED
+from repro.core import StreamProcessor
+from repro.util import images
+
+WIDTH, HEIGHT = 1920, 1080
+TARGETS_FPS = (25.0, 30.0, 60.0)
+
+
+def describe(name: str, frame_time: float) -> None:
+    fps = 1.0 / frame_time
+    verdict = "  ".join(
+        f"{int(t)}fps:{'yes' if fps >= t else 'NO '}" for t in TARGETS_FPS
+    )
+    print(f"  {name:22s} {frame_time * 1e3:8.2f} ms/frame "
+          f"({fps:6.1f} fps)   {verdict}")
+
+
+def main() -> None:
+    n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    print(f"Sharpening {n_frames} panning frames at {WIDTH}x{HEIGHT}\n")
+
+    frames = [Image.from_array(f) for f in
+              images.video_sequence(HEIGHT, WIDTH, n_frames, seed=3)]
+
+    pipelines = {
+        "CPU baseline": CPUPipeline(),
+        "GPU base port": GPUPipeline(BASE),
+        "GPU optimized": GPUPipeline(OPTIMIZED),
+    }
+
+    print("Per-frame simulated times (mean over the sequence):")
+    for name, pipe in pipelines.items():
+        total = 0.0
+        for frame in frames:
+            total += pipe.run(frame).total_time
+        describe(name, total / n_frames)
+
+    # Going beyond the paper: double-buffered copy/compute overlap.
+    stream = StreamProcessor(OPTIMIZED, overlap_transfers=True).run(frames)
+    describe("GPU opt + overlap", stream.mean_frame_time)
+    print(f"\n  (PCI-E transfers are {100 * stream.transfer_share:.0f}% of "
+          "the serial frame time — the overlap\n  headroom double "
+          "buffering exploits.)")
+
+    print(
+        "\nThe optimized pipeline is what makes real-time HD sharpening "
+        "feasible on the\nsimulated W8000 — the same conclusion the paper "
+        "draws for its TV use case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Optimizing Image Sharpening Algorithm on GPU"
+(Fan, Jia, Zhang, An, Cao — ICPP 2015) on a simulated OpenCL GPU.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Image, SharpnessParams, sharpen, GPUPipeline, OPTIMIZED
+
+    plane = np.random.default_rng(0).uniform(0, 255, (512, 512))
+    image = Image.from_array(plane)
+
+    # Simple functional API (CPU reference semantics):
+    result = sharpen(image.plane)
+
+    # Full simulated-GPU pipeline with the paper's optimizations:
+    gpu = GPUPipeline(OPTIMIZED).run(image)
+    print(gpu.final_u8().shape, f"{gpu.total_time * 1e3:.2f} ms (simulated)")
+
+Packages:
+
+* :mod:`repro.algo` — canonical stage implementations (the algorithm itself);
+* :mod:`repro.cpu` — scalar golden reference + the paper's CPU baseline;
+* :mod:`repro.simgpu` — the simulated GPU (emulator + cost model);
+* :mod:`repro.cl` — OpenCL-flavoured host API over the simulator;
+* :mod:`repro.kernels` — the device kernels, base and optimized variants;
+* :mod:`repro.core` — the optimized pipeline and the optimization ladder;
+* :mod:`repro.experiments` — per-table/figure reproduction harness.
+"""
+
+from .algo.stages import sharpen
+from .core import (
+    BASE,
+    LADDER,
+    OPTIMIZED,
+    GPUPipeline,
+    GPUResult,
+    OptimizationFlags,
+)
+from .cpu import CPUPipeline, CPUResult
+from .errors import ReproError, ValidationError
+from .simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from .types import Image, SharpnessParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sharpen",
+    "BASE",
+    "LADDER",
+    "OPTIMIZED",
+    "GPUPipeline",
+    "GPUResult",
+    "OptimizationFlags",
+    "CPUPipeline",
+    "CPUResult",
+    "ReproError",
+    "ValidationError",
+    "CPUSpec",
+    "DeviceSpec",
+    "I5_3470",
+    "W8000",
+    "Image",
+    "SharpnessParams",
+    "__version__",
+]

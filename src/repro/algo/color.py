@@ -1,0 +1,87 @@
+"""Colour support: sharpen the brightness plane of an RGB image.
+
+The paper processes "the brightness value" of the image — the standard
+practice for sharpening colour content: convert to YCbCr, sharpen the luma
+plane, leave chroma untouched (sharpening chroma amplifies colour fringing),
+then convert back.  This module provides BT.601 full-range conversions and a
+``sharpen_rgb`` helper that routes the luma plane through any pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import FLOAT, SharpnessParams
+from .stages import sharpen
+
+# BT.601 full-range luma/chroma coefficients.
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+def _check_rgb(rgb: np.ndarray) -> np.ndarray:
+    arr = np.asarray(rgb, dtype=FLOAT)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValidationError(
+            f"expected an (H, W, 3) RGB array, got shape {arr.shape}"
+        )
+    return arr
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]:
+    """Split an RGB image into full-range Y, Cb, Cr planes (BT.601)."""
+    arr = _check_rgb(rgb)
+    r, g, b = arr[..., 0], arr[..., 1], arr[..., 2]
+    y = _KR * r + _KG * g + _KB * b
+    cb = 128.0 + (b - y) * (0.5 / (1.0 - _KB))
+    cr = 128.0 + (r - y) * (0.5 / (1.0 - _KR))
+    return y, cb, cr
+
+
+def ycbcr_to_rgb(y: np.ndarray, cb: np.ndarray,
+                 cr: np.ndarray) -> np.ndarray:
+    """Recombine Y, Cb, Cr planes into an RGB image (clamped to [0,255])."""
+    y = np.asarray(y, dtype=FLOAT)
+    cb = np.asarray(cb, dtype=FLOAT) - 128.0
+    cr = np.asarray(cr, dtype=FLOAT) - 128.0
+    if not (y.shape == cb.shape == cr.shape):
+        raise ValidationError(
+            f"plane shape mismatch: Y {y.shape}, Cb {cb.shape}, "
+            f"Cr {cr.shape}"
+        )
+    r = y + cr * (2.0 - 2.0 * _KR)
+    b = y + cb * (2.0 - 2.0 * _KB)
+    g = (y - _KR * r - _KB * b) / _KG
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(rgb, 0.0, 255.0)
+
+
+#: A luma-plane sharpener: plane in, sharpened plane out.
+LumaSharpener = Callable[[np.ndarray], np.ndarray]
+
+
+def sharpen_rgb(rgb: np.ndarray, params: SharpnessParams | None = None,
+                *, luma_sharpener: LumaSharpener | None = None
+                ) -> np.ndarray:
+    """Sharpen an RGB image through its luma plane.
+
+    ``luma_sharpener`` defaults to the canonical CPU pipeline; pass e.g.
+    ``lambda y: GPUPipeline(OPTIMIZED, params).run(y).final`` to route the
+    luma plane through the simulated GPU instead.
+    """
+    params = params or SharpnessParams()
+    if luma_sharpener is None:
+        def luma_sharpener(plane: np.ndarray) -> np.ndarray:
+            return sharpen(plane, params)["final"]  # type: ignore[index]
+
+    y, cb, cr = rgb_to_ycbcr(rgb)
+    y_sharp = luma_sharpener(y)
+    if np.asarray(y_sharp).shape != y.shape:
+        raise ValidationError(
+            "luma sharpener changed the plane shape: "
+            f"{np.asarray(y_sharp).shape} != {y.shape}"
+        )
+    return ycbcr_to_rgb(y_sharp, cb, cr)

@@ -1,0 +1,389 @@
+"""Canonical vectorized implementations of the sharpness stages.
+
+The geometry and interpretation decisions are documented in DESIGN.md
+section 3; the docstrings below restate the exact contracts that all other
+implementations (scalar golden reference, simulated-GPU kernels) must honour.
+
+All functions take and return ``float64`` arrays; none of them mutates its
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import FLOAT, SCALE, SharpnessParams, validate_plane
+
+# ---------------------------------------------------------------------------
+# Predefined parameter matrices (DESIGN.md section 3)
+# ---------------------------------------------------------------------------
+
+#: 4x2 upscale parameter matrix: row ``k`` holds the 2-tap interpolation
+#: weights for phase ``k`` of the x4 body upscale (``P @ D @ P.T`` form of
+#: Fig. 5).  Rows sum to 1, so constant images are preserved.
+UPSCALE_P = np.array(
+    [
+        [7.0 / 8.0, 1.0 / 8.0],
+        [5.0 / 8.0, 3.0 / 8.0],
+        [3.0 / 8.0, 5.0 / 8.0],
+        [1.0 / 8.0, 7.0 / 8.0],
+    ],
+    dtype=FLOAT,
+)
+
+#: 1-D border interpolation weights: position ``4c + k`` of an upscaled
+#: border line blends downscaled samples ``c`` and ``c + 1`` with weights
+#: ``BORDER_WEIGHTS[k]``.  ``k == 0`` lands exactly on sample ``c``.
+BORDER_WEIGHTS = np.array(
+    [
+        [1.0, 0.0],
+        [3.0 / 4.0, 1.0 / 4.0],
+        [1.0 / 2.0, 1.0 / 2.0],
+        [1.0 / 4.0, 3.0 / 4.0],
+    ],
+    dtype=FLOAT,
+)
+
+#: Sobel convolution masks (Fig. 7).  Signs are irrelevant after the absolute
+#: value; these are the classical kernels.
+SOBEL_GX = np.array(
+    [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]], dtype=FLOAT
+)
+SOBEL_GY = np.array(
+    [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]], dtype=FLOAT
+)
+
+
+def _check_plane(src: np.ndarray, name: str = "src") -> np.ndarray:
+    arr = np.asarray(src, dtype=FLOAT)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    h, w = arr.shape
+    if h % SCALE or w % SCALE:
+        raise ValidationError(
+            f"{name} sides must be divisible by {SCALE}, got {h}x{w}"
+        )
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: downscale
+# ---------------------------------------------------------------------------
+
+
+def downscale(src: np.ndarray) -> np.ndarray:
+    """Mean-pool the plane with non-overlapping 4x4 blocks (Fig. 2).
+
+    ``out[i, j] = mean(src[4i:4i+4, 4j:4j+4])``; output shape is
+    ``(H/4, W/4)``.
+    """
+    arr = _check_plane(src)
+    h, w = arr.shape
+    blocks = arr.reshape(h // SCALE, SCALE, w // SCALE, SCALE)
+    return blocks.sum(axis=(1, 3)) / FLOAT(SCALE * SCALE)
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: upscale (border + body)
+# ---------------------------------------------------------------------------
+
+
+def upscale_border_line(line: np.ndarray, out_len: int) -> np.ndarray:
+    """Upscale one downscaled border line to length ``out_len`` (Fig. 3).
+
+    Sample ``c`` lands at position ``4c``; the three vacancies after it are
+    interpolated from samples ``c`` and ``c + 1`` with
+    :data:`BORDER_WEIGHTS`; the last three positions (which have no right
+    neighbour) are copied from position ``out_len - 4``.
+    """
+    d = np.asarray(line, dtype=FLOAT)
+    if d.ndim != 1:
+        raise ValidationError(f"border line must be 1-D, got ndim={d.ndim}")
+    n = d.shape[0]
+    if out_len != SCALE * n:
+        raise ValidationError(
+            f"out_len must be {SCALE}*len(line)={SCALE * n}, got {out_len}"
+        )
+    out = np.empty(out_len, dtype=FLOAT)
+    left = d[:-1]
+    right = d[1:]
+    out[0::SCALE] = d
+    for k in range(1, SCALE):
+        wl, wr = BORDER_WEIGHTS[k]
+        out[k : out_len - SCALE : SCALE][: n - 1] = wl * left + wr * right
+    out[out_len - 3 :] = out[out_len - SCALE]
+    return out
+
+
+def _interp_body_axis0(d: np.ndarray) -> np.ndarray:
+    """Interpolate along axis 0: (n, m) -> (4*(n-1), m) using UPSCALE_P."""
+    n, m = d.shape
+    a = d[:-1]
+    b = d[1:]
+    out = np.empty((SCALE * (n - 1), m), dtype=FLOAT)
+    for k in range(SCALE):
+        wl, wr = UPSCALE_P[k]
+        out[k::SCALE] = wl * a + wr * b
+    return out
+
+
+def upscale_body(down: np.ndarray) -> np.ndarray:
+    """Upscale the body region (Fig. 4/5).
+
+    Every 2x2 block of ``down`` (stride 1) produces the 4x4 block
+    ``P @ D2x2 @ P.T`` of the output (stride 4).  The returned array has
+    shape ``(H - 4, W - 4)`` and belongs at ``up[2:H-2, 2:W-2]``.
+
+    The computation is separable: interpolate rows first, then columns,
+    which is algebraically identical to the ``P @ D @ P.T`` form.
+    """
+    d = np.asarray(down, dtype=FLOAT)
+    if d.ndim != 2 or d.shape[0] < 2 or d.shape[1] < 2:
+        raise ValidationError(
+            f"downscaled matrix must be 2-D with sides >= 2, got {d.shape}"
+        )
+    rows = _interp_body_axis0(d)
+    return _interp_body_axis0(rows.T).T
+
+
+def upscale_border_apply(up: np.ndarray, down: np.ndarray) -> None:
+    """Write the border construction of Fig. 3 into ``up`` in place.
+
+    Assembly order is canonical (DESIGN.md section 3) so that every
+    implementation produces identical corners:
+
+    1. first border row duplicated into rows 0 and 1;
+    2. last border row duplicated into rows H-2 and H-1;
+    3. first border column duplicated into columns 0 and 1;
+    4. last border column duplicated into columns W-2 and W-1;
+    5. bottom-right 2x2 corner overwritten with ``up[H-3, W-1]``.
+
+    Step 5 is kept for faithfulness to the paper's description, but with
+    :func:`upscale_border_line`'s copy rule it is provably redundant: the
+    cells it writes already hold ``down[-1, -1]`` (the test suite asserts
+    this), which is what lets the GPU border kernel run the four lines in
+    parallel without a cross-workgroup ordering hazard.
+    """
+    d = np.asarray(down, dtype=FLOAT)
+    nr, nc = d.shape
+    h, w = SCALE * nr, SCALE * nc
+    if up.shape != (h, w):
+        raise ValidationError(
+            f"upscaled buffer shape {up.shape} does not match {SCALE}x "
+            f"the downscaled shape {d.shape}"
+        )
+    row0 = upscale_border_line(d[0], w)
+    up[0] = row0
+    up[1] = row0
+    rowl = upscale_border_line(d[nr - 1], w)
+    up[h - 2] = rowl
+    up[h - 1] = rowl
+
+    col0 = upscale_border_line(d[:, 0], h)
+    up[:, 0] = col0
+    up[:, 1] = col0
+    coll = upscale_border_line(d[:, nc - 1], h)
+    up[:, w - 2] = coll
+    up[:, w - 1] = coll
+
+    up[h - 2 :, w - 2 :] = up[h - 3, w - 1]
+
+
+def upscale(down: np.ndarray) -> np.ndarray:
+    """Full upscale: body (``up[2:H-2, 2:W-2]``) plus the Fig. 3 border."""
+    d = np.asarray(down, dtype=FLOAT)
+    nr, nc = d.shape
+    h, w = SCALE * nr, SCALE * nc
+    up = np.empty((h, w), dtype=FLOAT)
+    up[2 : h - 2, 2 : w - 2] = upscale_body(d)
+    upscale_border_apply(up, d)
+    return up
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: difference matrix
+# ---------------------------------------------------------------------------
+
+
+def perror(src: np.ndarray, upscaled: np.ndarray) -> np.ndarray:
+    """Difference matrix ``pError = original - upscaled``."""
+    a = np.asarray(src, dtype=FLOAT)
+    b = np.asarray(upscaled, dtype=FLOAT)
+    if a.shape != b.shape:
+        raise ValidationError(
+            f"shape mismatch: original {a.shape} vs upscaled {b.shape}"
+        )
+    return a - b
+
+
+# ---------------------------------------------------------------------------
+# Stage 4a: Sobel
+# ---------------------------------------------------------------------------
+
+
+def sobel(src: np.ndarray) -> np.ndarray:
+    """Sobel edge magnitude ``|Gx| + |Gy|`` with a zero border (Fig. 6/7)."""
+    arr = _check_plane(src)
+    h, w = arr.shape
+    out = np.zeros((h, w), dtype=FLOAT)
+    # 3x3 neighbourhood views over the body region.
+    c = arr[1 : h - 1, 1 : w - 1]  # noqa: F841  (kept for symmetry/clarity)
+    nw = arr[0 : h - 2, 0 : w - 2]
+    n = arr[0 : h - 2, 1 : w - 1]
+    ne = arr[0 : h - 2, 2:w]
+    wv = arr[1 : h - 1, 0 : w - 2]
+    ev = arr[1 : h - 1, 2:w]
+    sw = arr[2:h, 0 : w - 2]
+    s = arr[2:h, 1 : w - 1]
+    se = arr[2:h, 2:w]
+    gx = (ne + 2.0 * ev + se) - (nw + 2.0 * wv + sw)
+    gy = (sw + 2.0 * s + se) - (nw + 2.0 * n + ne)
+    out[1 : h - 1, 1 : w - 1] = np.abs(gx) + np.abs(gy)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Stage 4b: reduction
+# ---------------------------------------------------------------------------
+
+
+def reduce_sum(values: np.ndarray) -> float:
+    """Total of all elements (the quantity the GPU tree reduction computes)."""
+    return float(np.asarray(values, dtype=FLOAT).sum())
+
+
+def reduce_mean(values: np.ndarray) -> float:
+    """Arithmetic mean of all elements of ``values``."""
+    arr = np.asarray(values, dtype=FLOAT)
+    if arr.size == 0:
+        raise ValidationError("cannot reduce an empty array")
+    return reduce_sum(arr) / float(arr.size)
+
+
+# ---------------------------------------------------------------------------
+# Stage 4c: brightness strength + preliminary sharpened matrix
+# ---------------------------------------------------------------------------
+
+
+def strength_map(
+    p_edge: np.ndarray, edge_mean: float, params: SharpnessParams
+) -> np.ndarray:
+    """Per-pixel brightness-strength factor (DESIGN.md section 3).
+
+    ``strength = clamp(gain * (pEdge / mean)**gamma, 0, strength_max)``.
+    A non-positive mean (flat image) yields an all-zero map: no edges, no
+    sharpening.  This is the exponentiation-heavy step the paper calls the
+    "calculation of the strength matrix".
+    """
+    edge = np.asarray(p_edge, dtype=FLOAT)
+    if edge_mean <= 0.0:
+        return np.zeros_like(edge)
+    norm = edge / FLOAT(edge_mean)
+    return np.clip(params.gain * norm**FLOAT(params.gamma), 0.0,
+                   params.strength_max)
+
+
+def preliminary_sharpen(
+    upscaled: np.ndarray, p_error: np.ndarray, strength: np.ndarray
+) -> np.ndarray:
+    """Preliminary sharpened matrix: ``upscaled + strength * pError``."""
+    u = np.asarray(upscaled, dtype=FLOAT)
+    e = np.asarray(p_error, dtype=FLOAT)
+    s = np.asarray(strength, dtype=FLOAT)
+    if not (u.shape == e.shape == s.shape):
+        raise ValidationError(
+            f"shape mismatch: upscaled {u.shape}, pError {e.shape}, "
+            f"strength {s.shape}"
+        )
+    return u + s * e
+
+
+# ---------------------------------------------------------------------------
+# Stage 4d: overshoot control
+# ---------------------------------------------------------------------------
+
+
+def _neighborhood_minmax(src: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """3x3 min and max over the body region (shape ``(H-2, W-2)`` each)."""
+    h, w = src.shape
+    views = [
+        src[di : h - 2 + di, dj : w - 2 + dj]
+        for di in range(3)
+        for dj in range(3)
+    ]
+    mn = views[0].copy()
+    mx = views[0].copy()
+    for v in views[1:]:
+        np.minimum(mn, v, out=mn)
+        np.maximum(mx, v, out=mx)
+    return mn, mx
+
+
+def overshoot_control(
+    preliminary: np.ndarray, src: np.ndarray, params: SharpnessParams
+) -> np.ndarray:
+    """Overshoot control (Fig. 8) producing the final sharpened plane.
+
+    Body pixels are compared against the 3x3 min/max of the *original*
+    image; overshoots are blended back with the ``overshoot`` tuning factor
+    and the result clamped to [0, 255].  Border rows/columns are copied from
+    the preliminary matrix (and clamped so the output is a valid image —
+    interpretation documented in DESIGN.md).
+    """
+    p = np.asarray(preliminary, dtype=FLOAT)
+    o = np.asarray(src, dtype=FLOAT)
+    if p.shape != o.shape:
+        raise ValidationError(
+            f"shape mismatch: preliminary {p.shape} vs original {o.shape}"
+        )
+    h, w = p.shape
+    osc = FLOAT(params.overshoot)
+    final = np.clip(p, 0.0, 255.0)
+
+    mn, mx = _neighborhood_minmax(o)
+    body = p[1 : h - 1, 1 : w - 1]
+    over = body > mx
+    under = body < mn
+    osc_max = np.minimum(mx + osc * (body - mx), 255.0)
+    osc_min = np.maximum(mn - osc * (mn - body), 0.0)
+    result = np.clip(body, 0.0, 255.0)
+    result = np.where(over, osc_max, result)
+    result = np.where(under, osc_min, result)
+    final[1 : h - 1, 1 : w - 1] = result
+    return final
+
+
+# ---------------------------------------------------------------------------
+# Full reference pipeline
+# ---------------------------------------------------------------------------
+
+
+def sharpen(
+    src: np.ndarray, params: SharpnessParams | None = None
+) -> dict[str, np.ndarray | float]:
+    """Run the whole sharpness pipeline; return all intermediates.
+
+    Returns a dict with keys ``downscaled``, ``upscaled``, ``p_error``,
+    ``p_edge``, ``edge_mean``, ``strength``, ``preliminary``, ``final``.
+    """
+    params = params or SharpnessParams()
+    arr = validate_plane(src)
+    down = downscale(arr)
+    up = upscale(down)
+    err = perror(arr, up)
+    edge = sobel(arr)
+    edge_mean = reduce_mean(edge)
+    strength = strength_map(edge, edge_mean, params)
+    prelim = preliminary_sharpen(up, err, strength)
+    final = overshoot_control(prelim, arr, params)
+    return {
+        "downscaled": down,
+        "upscaled": up,
+        "p_error": err,
+        "p_edge": edge,
+        "edge_mean": edge_mean,
+        "strength": strength,
+        "preliminary": prelim,
+        "final": final,
+    }

@@ -1,0 +1,19 @@
+"""OpenCL-flavoured host API bound to the simulated device.
+
+The classes mirror the OpenCL objects the paper's host code manipulates —
+``Context``, ``CommandQueue``, ``Buffer``, ``Program``/``Kernel`` — so the
+pipeline in :mod:`repro.core` reads like the paper's implementation: create
+buffers, pick a transfer mode (read/write vs map/unmap vs
+``WriteBufferRect``), enqueue kernels in order, optionally ``finish()`` after
+each one.  All costs are charged to the context's simulated
+:class:`~repro.simgpu.profiling.Timeline`.
+"""
+
+from .buffer import Buffer
+from .context import Context
+from .kernel import Kernel, KernelSpec
+from .program import Program
+from .queue import CommandQueue
+
+__all__ = ["Buffer", "Context", "Kernel", "KernelSpec", "Program",
+           "CommandQueue"]

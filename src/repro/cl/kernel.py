@@ -1,0 +1,99 @@
+"""Kernel specification and kernel-instance objects.
+
+A :class:`KernelSpec` is the simulated analogue of compiled OpenCL kernel
+source.  It carries up to three faces of the same kernel:
+
+* ``functional`` — a whole-array NumPy implementation, used on the fast path;
+* ``emulator`` — an optional per-work-item generator (see
+  :mod:`repro.simgpu.emulator`) used to validate the kernel's device-side
+  logic (barriers, local memory, vector access patterns) on small inputs;
+* ``cost`` — the launch-cost characterization consumed by the timing model.
+
+A :class:`Kernel` binds a spec to concrete arguments (``set_args``, like
+``clSetKernelArg``) so a queue can enqueue it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import InvalidKernelArgsError
+from ..simgpu.costmodel import KernelCost
+from ..simgpu.device import DeviceSpec
+from .buffer import Buffer
+
+#: Signature of the functional face: (global_size, local_size, *args) -> None.
+FunctionalFn = Callable[..., None]
+#: Signature of the cost face:
+#: (device, global_size, local_size, args) -> KernelCost.
+CostFn = Callable[
+    [DeviceSpec, tuple[int, ...], tuple[int, ...], tuple[Any, ...]],
+    KernelCost,
+]
+#: Signature of the local-memory declaration:
+#: (local_size, args) -> {name: n_elements}.
+LocalMemFn = Callable[[tuple[int, ...], tuple[Any, ...]], dict[str, int]]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Immutable description of one device kernel."""
+
+    name: str
+    functional: FunctionalFn
+    cost: CostFn
+    emulator: Callable[..., Any] | None = None
+    local_mem: LocalMemFn | None = None
+    arg_names: tuple[str, ...] = field(default=())
+
+    def create(self) -> "Kernel":
+        return Kernel(self)
+
+
+class Kernel:
+    """A kernel instance with bound arguments (cl_kernel analogue)."""
+
+    def __init__(self, spec: KernelSpec) -> None:
+        self.spec = spec
+        self._args: tuple[Any, ...] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def args(self) -> tuple[Any, ...]:
+        if self._args is None:
+            raise InvalidKernelArgsError(
+                f"kernel {self.name}: enqueued before set_args()"
+            )
+        return self._args
+
+    def set_args(self, *args: Any) -> "Kernel":
+        """Bind arguments; returns self for chaining."""
+        if self.spec.arg_names and len(args) != len(self.spec.arg_names):
+            raise InvalidKernelArgsError(
+                f"kernel {self.name}: expected {len(self.spec.arg_names)} "
+                f"args {self.spec.arg_names}, got {len(args)}"
+            )
+        self._args = args
+        return self
+
+    # -- argument marshalling used by the queue ------------------------------
+
+    def functional_args(self) -> tuple[Any, ...]:
+        """Buffers become their backing ndarrays; scalars pass through."""
+        return tuple(
+            a.data if isinstance(a, Buffer) else a for a in self.args
+        )
+
+    def emulator_args(self) -> tuple[Any, ...]:
+        """Buffers become bounds-checked views; scalars pass through."""
+        return tuple(
+            a.mem.checked() if isinstance(a, Buffer) else a
+            for a in self.args
+        )
+
+    def buffers(self) -> list[Buffer]:
+        return [a for a in self.args if isinstance(a, Buffer)]

@@ -1,0 +1,40 @@
+"""Program object: a named collection of kernel specifications.
+
+The simulated analogue of ``clCreateProgramWithSource`` + ``clBuildProgram``:
+a :class:`Program` holds the kernel specs "compiled" for a context and hands
+out bindable :class:`~repro.cl.kernel.Kernel` instances by name.
+"""
+
+from __future__ import annotations
+
+from ..errors import CLError
+from .kernel import Kernel, KernelSpec
+
+
+class Program:
+    """A built program for a context."""
+
+    def __init__(self, context, specs: dict[str, KernelSpec] | list[KernelSpec]) -> None:
+        self.context = context
+        if isinstance(specs, list):
+            specs = {s.name: s for s in specs}
+        for name, spec in specs.items():
+            if name != spec.name:
+                raise CLError(
+                    f"program: spec registered under {name!r} but named "
+                    f"{spec.name!r}"
+                )
+        self._specs = dict(specs)
+
+    @property
+    def kernel_names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def create_kernel(self, name: str) -> Kernel:
+        try:
+            return self._specs[name].create()
+        except KeyError:
+            raise CLError(
+                f"program has no kernel {name!r}; available: "
+                f"{self.kernel_names}"
+            ) from None

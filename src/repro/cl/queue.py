@@ -1,0 +1,230 @@
+"""In-order command queue of the simulated host API.
+
+Mirrors the subset of ``clEnqueue*`` the paper's host code uses:
+
+* ``enqueue_write_buffer`` / ``enqueue_read_buffer`` — explicit bulk copies
+  (the read/write transfer mode of section V.A);
+* ``enqueue_map_buffer`` / ``enqueue_unmap`` — the map/unmap mode;
+* ``enqueue_write_buffer_rect`` — strided write used to pad the original
+  matrix during the transfer itself (section V.A);
+* ``enqueue_nd_range`` — kernel launch (functional or emulated body, priced
+  by the cost model);
+* ``finish`` — ``clFinish`` host synchronization (the overhead the paper's
+  "Eliminate Global Synchronization" optimization removes);
+* ``host_step`` — CPU-side work interleaved with the queue (border /
+  reduction stage 2 on the host), so the timeline covers the whole pipeline.
+
+The queue is in-order and non-overlapping, matching the paper's description
+that kernels "have to be executed serially through global synchronization".
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..errors import InvalidBufferError, MapError, QueueError
+from ..simgpu.costmodel import kernel_time
+from ..simgpu.emulator import run_kernel
+from .buffer import Buffer
+from .context import MODE_DRYRUN, MODE_EMULATE
+from .kernel import Kernel
+
+
+class CommandQueue:
+    """An in-order command queue bound to a context."""
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self._released = False
+        self._pending_maps: dict[int, tuple[Buffer, np.ndarray, str]] = {}
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise QueueError("command queue used after release")
+
+    def _check_buffer(self, buf: Buffer) -> None:
+        if not isinstance(buf, Buffer):
+            raise InvalidBufferError(
+                f"expected a cl.Buffer, got {type(buf).__name__}"
+            )
+        buf.check_context(self.context)
+
+    def _record(self, name: str, kind: str, duration: float,
+                stage: str) -> None:
+        self.context.timeline.record(name, kind, duration, stage=stage)
+
+    def release(self) -> None:
+        self._released = True
+
+    # -- explicit transfers (read/write mode) --------------------------------
+
+    def enqueue_write_buffer(self, buf: Buffer, host: np.ndarray,
+                             *, stage: str = "transfer") -> None:
+        """Bulk host->device copy (``clEnqueueWriteBuffer``)."""
+        self._check_alive()
+        self._check_buffer(buf)
+        buf.mem.write(np.asarray(host))
+        duration = self.context.device.pcie.rw_time(buf.nbytes)
+        self._record(f"write:{buf.name}", "transfer", duration, stage)
+
+    def enqueue_read_buffer(self, buf: Buffer,
+                            *, stage: str = "transfer") -> np.ndarray:
+        """Bulk device->host copy (``clEnqueueReadBuffer``)."""
+        self._check_alive()
+        self._check_buffer(buf)
+        host = buf.mem.read()
+        duration = self.context.device.pcie.rw_time(buf.nbytes)
+        self._record(f"read:{buf.name}", "transfer", duration, stage)
+        return host
+
+    def enqueue_read_region_bytes(self, buf: Buffer, nbytes: int,
+                                  *, stage: str = "transfer") -> np.ndarray:
+        """Read only the first ``nbytes`` worth of elements (partial read).
+
+        Used for the reduction's intermediate results: only the stage-1
+        partial sums come back to the host, not the whole buffer.
+        """
+        self._check_alive()
+        self._check_buffer(buf)
+        if nbytes < 0 or nbytes > buf.nbytes:
+            raise InvalidBufferError(
+                f"{buf.name}: partial read of {nbytes} bytes from a "
+                f"{buf.nbytes}-byte buffer"
+            )
+        n_elements = nbytes // buf.mem.transfer_itemsize
+        host = buf.mem.read().ravel()[:n_elements].copy()
+        duration = self.context.device.pcie.rw_time(nbytes)
+        self._record(f"read-part:{buf.name}", "transfer", duration, stage)
+        return host
+
+    # -- map/unmap mode -------------------------------------------------------
+
+    def enqueue_map_buffer(self, buf: Buffer, *, write: bool,
+                           stage: str = "transfer") -> np.ndarray:
+        """Map a buffer into host memory (``clEnqueueMapBuffer``).
+
+        For reads the on-demand transfer is charged at map time and the
+        returned array holds the data.  For writes a staging array is
+        returned; the transfer is charged when :meth:`enqueue_unmap` makes
+        the data visible to the device.
+        """
+        self._check_alive()
+        self._check_buffer(buf)
+        buf.begin_map()
+        if write:
+            staging = np.zeros(buf.shape, dtype=buf.data.dtype)
+            self._pending_maps[id(buf)] = (buf, staging, stage)
+            return staging
+        duration = self.context.device.pcie.map_time(buf.nbytes)
+        self._record(f"map-read:{buf.name}", "transfer", duration, stage)
+        self._pending_maps[id(buf)] = (buf, None, stage)
+        return buf.mem.read()
+
+    def enqueue_unmap(self, buf: Buffer, mapped: np.ndarray | None = None,
+                      *, stage: str = "transfer") -> None:
+        """Unmap (``clEnqueueUnmapMemObject``); commits pending writes."""
+        self._check_alive()
+        self._check_buffer(buf)
+        try:
+            _, staging, map_stage = self._pending_maps.pop(id(buf))
+        except KeyError:
+            raise MapError(f"{buf.name}: unmap without map") from None
+        buf.end_map()
+        if staging is not None:
+            source = mapped if mapped is not None else staging
+            buf.mem.write(np.asarray(source))
+            duration = self.context.device.pcie.map_time(buf.nbytes)
+            self._record(
+                f"unmap-write:{buf.name}", "transfer", duration,
+                stage if stage != "transfer" else map_stage,
+            )
+
+    # -- strided rect write ----------------------------------------------------
+
+    def enqueue_write_buffer_rect(self, buf: Buffer, host: np.ndarray,
+                                  dst_origin: tuple[int, int],
+                                  *, stage: str = "transfer") -> None:
+        """Write a 2-D host region into a sub-rectangle of a 2-D buffer.
+
+        The simulated ``clEnqueueWriteBufferRect``: this is how the pipeline
+        pads the original matrix *during* the transfer instead of copying it
+        on the CPU first (section V.A).
+        """
+        self._check_alive()
+        self._check_buffer(buf)
+        host = np.asarray(host)
+        if host.ndim != 2 or len(buf.shape) != 2:
+            raise InvalidBufferError(
+                "write_buffer_rect requires 2-D host data and buffer"
+            )
+        r0, c0 = dst_origin
+        rows, cols = host.shape
+        if r0 < 0 or c0 < 0 or r0 + rows > buf.shape[0] \
+                or c0 + cols > buf.shape[1]:
+            raise InvalidBufferError(
+                f"{buf.name}: rect {host.shape} at origin {dst_origin} "
+                f"exceeds buffer {buf.shape}"
+            )
+        buf.data[r0:r0 + rows, c0:c0 + cols] = host
+        nbytes = host.size * buf.mem.transfer_itemsize
+        duration = self.context.device.pcie.rect_time(nbytes, rows)
+        self._record(f"write-rect:{buf.name}", "transfer", duration, stage)
+
+    # -- kernel launch ----------------------------------------------------------
+
+    def enqueue_nd_range(self, kernel: Kernel,
+                         global_size: tuple[int, ...],
+                         local_size: tuple[int, ...],
+                         *, stage: str = "") -> None:
+        """Launch a kernel over an NDRange (``clEnqueueNDRangeKernel``)."""
+        self._check_alive()
+        for buf in kernel.buffers():
+            self._check_buffer(buf)
+            if buf.mem.mapped:
+                raise MapError(
+                    f"{buf.name}: kernel {kernel.name} launched while the "
+                    f"buffer is mapped to the host"
+                )
+        global_size = tuple(int(g) for g in global_size)
+        local_size = tuple(int(l) for l in local_size)
+        spec = kernel.spec
+        device = self.context.device
+
+        cost = spec.cost(device, global_size, local_size, kernel.args)
+        duration = kernel_time(cost, device)
+
+        if self.context.mode == MODE_DRYRUN:
+            pass  # time-only: skip the kernel body
+        elif self.context.mode == MODE_EMULATE and spec.emulator is not None:
+            local_decl = (
+                spec.local_mem(local_size, kernel.args)
+                if spec.local_mem
+                else {}
+            )
+            run_kernel(
+                spec.emulator, global_size, local_size,
+                kernel.emulator_args(), device=device, local_mem=local_decl,
+            )
+        else:
+            spec.functional(global_size, local_size,
+                            *kernel.functional_args())
+        self._record(
+            f"kernel:{kernel.name}", "kernel", duration,
+            stage or kernel.name,
+        )
+
+    # -- synchronization and host work -------------------------------------------
+
+    def finish(self, *, stage: str = "sync") -> None:
+        """``clFinish``: block the host until the queue drains."""
+        self._check_alive()
+        self._record("clFinish", "sync", self.context.device.sync_overhead_s,
+                     stage)
+
+    def host_step(self, name: str, duration: float, *, stage: str) -> None:
+        """Record CPU-side work interleaved with the queue."""
+        self._check_alive()
+        self._record(name, "host", duration, stage)

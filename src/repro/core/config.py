@@ -1,0 +1,148 @@
+"""Pipeline configuration: the five optimization techniques as toggles.
+
+The flags map one-to-one onto the paper's sections:
+
+* **V.A — Data Transfer Optimization**: ``transfer_mode`` (map/unmap vs
+  read/write), ``transfer_padded_only`` (ship only the padded original) and
+  ``pad_on_transfer`` (pad via ``clEnqueueWriteBufferRect`` instead of a
+  host-side copy).
+* **V.B — Kernel Fusion**: ``fuse_sharpness`` collapses the pError /
+  preliminary-sharpen / overshoot kernels into one.
+* **V.C — Reduction Optimization**: ``reduction_on_gpu`` with the tree
+  ``reduction_unroll`` variant (0 = plain tree, 1 = unroll last wavefront,
+  2 = unroll last two wavefronts) and the ``reduction_stage2`` placement.
+* **V.D — Vectorization for Data Locality**: ``vectorize`` switches Sobel,
+  the fused sharpness kernel and upscale-center to 4-wide work-items.
+* **V.E/V.F — Border and other optimizations**: ``border_place`` (cpu / gpu /
+  auto with the 768 crossover), ``eliminate_sync`` (drop ``clFinish``),
+  ``builtins`` (built-in functions + shift/mask instruction selection).
+
+The named presets form the cumulative ladder benchmarked in Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+_TRANSFER_MODES = ("map", "rw")
+_PLACEMENTS = ("cpu", "gpu", "auto")
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which of the paper's optimizations are active."""
+
+    transfer_mode: str = "map"
+    transfer_padded_only: bool = False
+    pad_on_transfer: bool = False
+    fuse_sharpness: bool = False
+    reduction_on_gpu: bool = False
+    reduction_unroll: int = 1
+    reduction_stage2: str = "auto"
+    vectorize: bool = False
+    border_place: str = "cpu"
+    eliminate_sync: bool = False
+    builtins: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transfer_mode not in _TRANSFER_MODES:
+            raise ConfigError(
+                f"transfer_mode must be one of {_TRANSFER_MODES}, got "
+                f"{self.transfer_mode!r}"
+            )
+        if self.reduction_unroll not in (0, 1, 2):
+            raise ConfigError(
+                f"reduction_unroll must be 0, 1 or 2, got "
+                f"{self.reduction_unroll}"
+            )
+        if self.reduction_stage2 not in _PLACEMENTS:
+            raise ConfigError(
+                f"reduction_stage2 must be one of {_PLACEMENTS}, got "
+                f"{self.reduction_stage2!r}"
+            )
+        if self.border_place not in _PLACEMENTS:
+            raise ConfigError(
+                f"border_place must be one of {_PLACEMENTS}, got "
+                f"{self.border_place!r}"
+            )
+        if self.pad_on_transfer and not self.transfer_padded_only:
+            raise ConfigError(
+                "pad_on_transfer requires transfer_padded_only (the rect "
+                "write produces the padded matrix)"
+            )
+        if self.vectorize and not self.transfer_padded_only:
+            raise ConfigError(
+                "vectorize requires transfer_padded_only: the 4-wide "
+                "kernels read the padded original"
+            )
+
+    def with_(self, **kwargs) -> "OptimizationFlags":
+        """Return a copy with some flags replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        bits = [f"transfer={self.transfer_mode}"]
+        if self.transfer_padded_only:
+            bits.append("padded-only" + ("(rect)" if self.pad_on_transfer
+                                         else "(host-pad)"))
+        if self.fuse_sharpness:
+            bits.append("fused")
+        if self.reduction_on_gpu:
+            bits.append(f"red-gpu(u{self.reduction_unroll},"
+                        f"s2={self.reduction_stage2})")
+        else:
+            bits.append("red-cpu")
+        if self.vectorize:
+            bits.append("vec4")
+        bits.append(f"border={self.border_place}")
+        if self.eliminate_sync:
+            bits.append("nosync")
+        if self.builtins:
+            bits.append("builtins")
+        return " ".join(bits)
+
+
+#: The naive GPU port of section IV: map/unmap transfers of both the
+#: original and the padded matrix, six scalar kernels with a ``clFinish``
+#: after each, reduction and border on the CPU.
+BASE = OptimizationFlags()
+
+#: Fig. 14 step 1: "data transmission and kernel fusion" (section V.A + V.B).
+STEP_TRANSFER_FUSION = BASE.with_(
+    transfer_mode="rw",
+    transfer_padded_only=True,
+    pad_on_transfer=True,
+    fuse_sharpness=True,
+)
+
+#: Fig. 14 step 2: "+ optimizing the reduction" (section V.C).
+STEP_REDUCTION = STEP_TRANSFER_FUSION.with_(
+    reduction_on_gpu=True,
+    reduction_unroll=1,
+    reduction_stage2="auto",
+)
+
+#: Fig. 14 step 3: "+ vectorization for data share and border optimization"
+#: (sections V.D + V.E).
+STEP_VECTOR_BORDER = STEP_REDUCTION.with_(
+    vectorize=True,
+    border_place="auto",
+)
+
+#: Fig. 14 step 4: "+ others" (section V.F) — the fully optimized pipeline.
+OPTIMIZED = STEP_VECTOR_BORDER.with_(
+    eliminate_sync=True,
+    builtins=True,
+)
+
+#: The cumulative ladder of Fig. 14, in order.
+LADDER: tuple[tuple[str, OptimizationFlags], ...] = (
+    ("base", BASE),
+    ("transfer+fusion", STEP_TRANSFER_FUSION),
+    ("+reduction", STEP_REDUCTION),
+    ("+vector+border", STEP_VECTOR_BORDER),
+    ("+others", OPTIMIZED),
+)

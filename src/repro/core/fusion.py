@@ -1,0 +1,57 @@
+"""Kernel-set construction: which kernels exist under which flags.
+
+This is the simulated analogue of compiling different kernel source for
+different optimization levels.  The unfused tail is three kernels (pError,
+prelim, overshoot); fusion replaces them with the single sharpness kernel of
+section V.B.  Vectorization swaps Sobel / sharpness / upscale-center for
+their 4-wide variants; ``builtins`` recompiles everything with built-in
+functions and shift/mask instruction selection.
+"""
+
+from __future__ import annotations
+
+from ..cl.kernel import KernelSpec
+from ..kernels import (
+    make_downscale_spec,
+    make_overshoot_spec,
+    make_perror_spec,
+    make_prelim_spec,
+    make_reduction_spec,
+    make_sharpness_fused_spec,
+    make_sobel_spec,
+    make_upscale_border_spec,
+    make_upscale_center_spec,
+)
+from .config import OptimizationFlags
+
+
+def build_kernel_set(flags: OptimizationFlags) -> dict[str, KernelSpec]:
+    """Return the kernel specs the pipeline enqueues under ``flags``.
+
+    Keys are role names (stable across variants): ``downscale``, ``center``,
+    ``border``, ``sobel``, ``reduction``, and either ``sharpness`` (fused)
+    or ``perror`` + ``prelim`` + ``overshoot`` (unfused).
+    """
+    padded = flags.transfer_padded_only
+    vec = flags.vectorize
+    b = flags.builtins
+
+    kernels: dict[str, KernelSpec] = {
+        "downscale": make_downscale_spec(padded=padded, builtins=b),
+        "center": make_upscale_center_spec(vector=vec, builtins=b),
+        "border": make_upscale_border_spec(builtins=b),
+        "sobel": make_sobel_spec(padded=padded, vector=vec, builtins=b),
+        "reduction": make_reduction_spec(unroll=flags.reduction_unroll,
+                                         builtins=b),
+    }
+    if flags.fuse_sharpness:
+        kernels["sharpness"] = make_sharpness_fused_spec(
+            padded=padded, vector=vec, builtins=b
+        )
+    else:
+        kernels["perror"] = make_perror_spec(padded=padded, builtins=b)
+        kernels["prelim"] = make_prelim_spec(builtins=b)
+        # The overshoot kernel always reads the padded original (that is
+        # why the base pipeline transfers the padded matrix at all).
+        kernels["overshoot"] = make_overshoot_spec(padded=True, builtins=b)
+    return kernels

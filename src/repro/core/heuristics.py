@@ -1,0 +1,112 @@
+"""Placement heuristics: the "tested in advance" critical values.
+
+The paper determines two placement thresholds empirically:
+
+* the upscale border runs on the CPU below 768x768 and on the GPU above
+  (section V.E / Fig. 17);
+* the second reduction stage runs on the CPU while the stage-1 partial
+  count is small, on the GPU once "the results of first stage will be
+  abundant" (section V.C).
+
+``border_crossover_side`` recomputes the border crossover from the cost
+model (the analogue of the paper's advance testing); the shipped constant
+:data:`BORDER_GPU_MIN_SIDE` is the paper's value, which the experiment suite
+checks against the model's own crossover.
+"""
+
+from __future__ import annotations
+
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from .config import OptimizationFlags
+
+#: Side length at and above which the upscale border runs on the GPU
+#: (Fig. 17: "the critical value is 768x768 bytes").
+BORDER_GPU_MIN_SIDE = 768
+
+#: Stage-1 partial count above which reduction stage 2 runs on the GPU.
+#: 4096 partials corresponds to a ~2048x2048 image with the 1024-element
+#: workgroup span; below that the partial array ships to the host in one
+#: small transfer.
+REDUCTION_STAGE2_GPU_MIN_PARTIALS = 4096
+
+
+def border_on_gpu(flags: OptimizationFlags, h: int, w: int) -> bool:
+    """Resolve the border placement for an ``h x w`` image."""
+    if flags.border_place == "gpu":
+        return True
+    if flags.border_place == "cpu":
+        return False
+    return min(h, w) >= BORDER_GPU_MIN_SIDE
+
+
+def reduction_stage2_on_gpu(flags: OptimizationFlags,
+                            n_partials: int) -> bool:
+    """Resolve the stage-2 placement given the stage-1 partial count."""
+    if flags.reduction_stage2 == "gpu":
+        return True
+    if flags.reduction_stage2 == "cpu":
+        return False
+    return n_partials > REDUCTION_STAGE2_GPU_MIN_PARTIALS
+
+
+def border_gpu_time(h: int, w: int, device: DeviceSpec = W8000,
+                    *, builtins: bool = False) -> float:
+    """Model time of the GPU border path (kernel only)."""
+    from ..kernels.upscale_border import (
+        BORDER_GLOBAL,
+        BORDER_LOCAL,
+        make_upscale_border_spec,
+    )
+    from ..simgpu.costmodel import kernel_time
+
+    spec = make_upscale_border_spec(builtins=builtins)
+    cost = spec.cost(device, BORDER_GLOBAL, BORDER_LOCAL,
+                     (None, None, h, w))
+    return kernel_time(cost, device)
+
+
+def border_cpu_time(h: int, w: int, device: DeviceSpec = W8000,
+                    cpu: CPUSpec = I5_3470, *,
+                    transfer_mode: str = "rw") -> float:
+    """Model time of the CPU border path, including its PCI-E round trip.
+
+    The CPU path reads the downscaled matrix back, computes the four lines
+    on the host, and writes the upscaled buffer (with only its border
+    populated) to the device — the transfers the paper calls "a huge
+    performance cost".
+    """
+    from ..cpu.cost import border_host_time
+
+    down_bytes = (h // 4) * (w // 4) * 4
+    up_bytes = h * w * 4
+    pcie = device.pcie
+    if transfer_mode == "rw":
+        transfers = pcie.rw_time(down_bytes) + pcie.rw_time(up_bytes)
+    else:
+        transfers = pcie.map_time(down_bytes) + pcie.map_time(up_bytes)
+    return transfers + border_host_time(h, w, cpu)
+
+
+def border_crossover_side(device: DeviceSpec = W8000,
+                          cpu: CPUSpec = I5_3470, *,
+                          transfer_mode: str = "rw",
+                          lo: int = 64, hi: int = 8192) -> int:
+    """Smallest side (multiple of 64) from which the GPU border path wins
+    for *every* larger size.
+
+    This is the model-side analogue of the paper's advance testing of the
+    critical value.  The comparison is not monotone at tiny sizes (the CPU
+    path's fixed per-transfer overheads briefly exceed the GPU launch cost),
+    so the scan runs from the top down to find the last CPU win.
+    """
+    crossover = lo
+    side = hi
+    while side >= lo:
+        gpu = border_gpu_time(side, side, device)
+        cpu_t = border_cpu_time(side, side, device, cpu,
+                                transfer_mode=transfer_mode)
+        if gpu > cpu_t:
+            crossover = side + 64
+            break
+        side -= 64
+    return min(crossover, hi)

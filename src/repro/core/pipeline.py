@@ -1,0 +1,300 @@
+"""The GPU sharpness pipeline under arbitrary optimization flags.
+
+``GPUPipeline.run`` executes the whole algorithm on the simulated device the
+way the paper's host code does: allocate buffers, move the input according
+to the transfer strategy, enqueue the kernel sequence the flag set implies
+(with or without fusion / vectorization / GPU reduction / GPU border), and
+read the final image back.  The result carries the output plane, the full
+simulated event timeline, and the Fig.-13-style stage breakdown.
+
+The functional execution mode computes real pixel values (all flag
+combinations produce the same image up to float64 round-off — the test
+suite asserts this); the emulate mode additionally runs every kernel
+work-item by work-item for small images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cl.buffer import Buffer
+from ..cl.context import Context
+from ..cl.queue import CommandQueue
+from ..cpu.cost import border_host_time, reduction_host_time
+from ..algo import stages as algo
+from ..kernels.base import round_up
+from ..kernels.reduction import GROUP_SPAN, reduction_layout
+from ..kernels.upscale_border import BORDER_GLOBAL, BORDER_LOCAL
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..simgpu.profiling import Timeline
+from ..types import Image, SharpnessParams, StageTimes
+from . import heuristics
+from .config import OPTIMIZED, OptimizationFlags
+from .fusion import build_kernel_set
+from .metrics import stage_times_from_timeline
+from .transfer import TransferPlanner
+
+#: Workgroup tile for 2-D pixel kernels (16x16 = 256 = the W8000 limit).
+_TILE = 16
+
+
+def _grid2d(nx: int, ny: int, tile: int = _TILE) -> tuple[tuple[int, int],
+                                                           tuple[int, int]]:
+    """NDRange covering an ``nx x ny`` output with bounds-checked padding."""
+    return (round_up(nx, tile), round_up(ny, tile)), (tile, tile)
+
+
+@dataclass
+class GPUResult:
+    """Output of one simulated GPU pipeline run."""
+
+    final: np.ndarray
+    times: StageTimes
+    timeline: Timeline
+    edge_mean: float
+    flags: OptimizationFlags
+    border_ran_on_gpu: bool
+    reduction_stage2_on_gpu: bool
+    kernel_launches: int = 0
+    intermediates: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.timeline.total
+
+    def final_u8(self) -> np.ndarray:
+        return np.clip(np.rint(self.final), 0, 255).astype(np.uint8)
+
+
+class GPUPipeline:
+    """The paper's sharpness pipeline on the simulated FirePro W8000.
+
+    Parameters
+    ----------
+    flags:
+        Optimization configuration (defaults to the fully optimized preset).
+    params:
+        Sharpening tuning parameters.
+    device / cpu:
+        Hardware specs (Table I defaults).
+    mode:
+        ``"functional"`` (fast) or ``"emulate"`` (per-work-item, small
+        images only).
+    keep_intermediates:
+        Retain intermediate device buffers on the result.
+    """
+
+    def __init__(self, flags: OptimizationFlags = OPTIMIZED,
+                 params: SharpnessParams | None = None,
+                 device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470,
+                 *, mode: str = "functional",
+                 keep_intermediates: bool = False) -> None:
+        from ..errors import ConfigError
+        from ..kernels.reduction import KERNEL_WAVEFRONT
+
+        if (flags.reduction_on_gpu and flags.reduction_unroll > 0
+                and device.wavefront_size < KERNEL_WAVEFRONT):
+            raise ConfigError(
+                f"reduction_unroll={flags.reduction_unroll} assumes "
+                f"{KERNEL_WAVEFRONT}-lane wavefronts; {device.name} has "
+                f"{device.wavefront_size} (would corrupt results) — use "
+                f"reduction_unroll=0 or core.portability.retune()"
+            )
+        self.flags = flags
+        self.params = params or SharpnessParams()
+        self.device = device
+        self.cpu = cpu
+        self.mode = mode
+        self.keep_intermediates = keep_intermediates
+
+    # -- helpers -------------------------------------------------------------
+
+    def _launch(self, queue: CommandQueue, spec, args, global_size,
+                local_size, stage: str) -> None:
+        kernel = spec.create().set_args(*args)
+        queue.enqueue_nd_range(kernel, global_size, local_size, stage=stage)
+        if not self.flags.eliminate_sync:
+            queue.finish(stage=stage)
+
+    # -- main entry -----------------------------------------------------------
+
+    def run(self, image: Image | np.ndarray) -> GPUResult:
+        if not isinstance(image, Image):
+            image = Image.from_array(np.asarray(image))
+        flags = self.flags
+        plane = image.plane
+        h, w = plane.shape
+        n = h * w
+
+        ctx = Context(self.device, self.mode)
+        queue = CommandQueue(ctx)
+        planner = TransferPlanner(queue, flags.transfer_mode, self.cpu)
+        kernels = build_kernel_set(flags)
+
+        # ---- buffers --------------------------------------------------------
+        padded_buf = ctx.create_buffer((h + 2, w + 2), transfer_itemsize=1,
+                                       name="padded")
+        src_buf: Buffer | None = None
+        if not flags.transfer_padded_only:
+            src_buf = ctx.create_buffer((h, w), transfer_itemsize=1,
+                                        name="src")
+        down_buf = ctx.create_buffer((h // 4, w // 4), transfer_itemsize=4,
+                                     name="down")
+        up_buf = ctx.create_buffer((h, w), transfer_itemsize=4, name="up")
+        pedge_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
+                                      name="pedge")
+        final_buf = ctx.create_buffer((h, w), transfer_itemsize=1,
+                                      name="final")
+
+        # ---- data init (section V.A) ----------------------------------------
+        planner.upload_padded(padded_buf, plane,
+                              pad_on_transfer=flags.pad_on_transfer,
+                              stage="data_init")
+        if src_buf is not None:
+            planner.upload(src_buf, plane, stage="data_init")
+        src_for_kernels = padded_buf if flags.transfer_padded_only else src_buf
+
+        # ---- downscale -------------------------------------------------------
+        gsz, lsz = _grid2d(w // 4, h // 4)
+        self._launch(queue, kernels["downscale"],
+                     (src_for_kernels, down_buf, h, w), gsz, lsz, "downscale")
+
+        # ---- upscale border (section V.E) ------------------------------------
+        border_gpu = heuristics.border_on_gpu(flags, h, w)
+        if border_gpu:
+            self._launch(queue, kernels["border"],
+                         (down_buf, up_buf, h, w),
+                         BORDER_GLOBAL, BORDER_LOCAL, "border")
+        else:
+            # CPU path: download the downscaled matrix, build the border on
+            # the host, upload the upscaled buffer (border populated, body
+            # still zero) — the transfers the paper calls a huge cost.
+            down_host = planner.download(down_buf, stage="border")
+            queue.host_step("border_host",
+                            border_host_time(h, w, self.cpu), stage="border")
+            up_host = np.zeros((h, w), dtype=np.float64)
+            algo.upscale_border_apply(up_host, down_host)
+            planner.upload(up_buf, up_host, stage="border")
+
+        # ---- upscale center ---------------------------------------------------
+        if flags.vectorize:
+            gsz, lsz = _grid2d((w - 4) // 4, (h - 4) // 4)
+        else:
+            gsz, lsz = _grid2d(w - 4, h - 4)
+        self._launch(queue, kernels["center"], (down_buf, up_buf, h, w),
+                     gsz, lsz, "center")
+
+        # ---- Sobel -------------------------------------------------------------
+        if flags.vectorize:
+            gsz, lsz = _grid2d(round_up(w, 4) // 4, h)
+        else:
+            gsz, lsz = _grid2d(w, h)
+        self._launch(queue, kernels["sobel"],
+                     (src_for_kernels, pedge_buf, h, w), gsz, lsz, "sobel")
+
+        # ---- reduction (section V.C) -------------------------------------------
+        edge_mean, stage2_gpu = self._reduce(ctx, queue, planner, kernels,
+                                             pedge_buf, n)
+
+        # ---- sharpness tail (section V.B) ---------------------------------------
+        if flags.fuse_sharpness:
+            if flags.vectorize:
+                gsz, lsz = _grid2d(round_up(w, 4) // 4, h)
+            else:
+                gsz, lsz = _grid2d(w, h)
+            self._launch(
+                queue, kernels["sharpness"],
+                (up_buf, pedge_buf, src_for_kernels, final_buf, edge_mean,
+                 self.params, h, w),
+                gsz, lsz, "sharpness",
+            )
+        else:
+            perror_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
+                                           name="perror")
+            prelim_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
+                                           name="prelim")
+            gsz, lsz = _grid2d(w, h)
+            self._launch(queue, kernels["perror"],
+                         (src_for_kernels, up_buf, perror_buf, h, w),
+                         gsz, lsz, "perror")
+            self._launch(
+                queue, kernels["prelim"],
+                (up_buf, pedge_buf, perror_buf, prelim_buf, edge_mean,
+                 self.params, h, w),
+                gsz, lsz, "prelim",
+            )
+            self._launch(
+                queue, kernels["overshoot"],
+                (prelim_buf, padded_buf, final_buf, self.params, h, w),
+                gsz, lsz, "overshoot",
+            )
+
+        # ---- readback ------------------------------------------------------------
+        final = planner.download(final_buf, stage="data_init")
+
+        intermediates: dict[str, np.ndarray] = {}
+        if self.keep_intermediates:
+            intermediates = {
+                "downscaled": down_buf.data.copy(),
+                "upscaled": up_buf.data.copy(),
+                "p_edge": pedge_buf.data.copy(),
+            }
+        return GPUResult(
+            final=final,
+            times=stage_times_from_timeline(ctx.timeline),
+            timeline=ctx.timeline,
+            edge_mean=edge_mean,
+            flags=flags,
+            border_ran_on_gpu=border_gpu,
+            reduction_stage2_on_gpu=stage2_gpu,
+            kernel_launches=len(ctx.timeline.of_kind("kernel")),
+            intermediates=intermediates,
+        )
+
+    # -- reduction sub-flow -----------------------------------------------------
+
+    def _reduce(self, ctx: Context, queue: CommandQueue,
+                planner: TransferPlanner, kernels, pedge_buf: Buffer,
+                n: int) -> tuple[float, bool]:
+        """Compute the mean of pEdge per the reduction flags.
+
+        Returns ``(mean, stage2_ran_on_gpu)``.
+        """
+        flags = self.flags
+        if not flags.reduction_on_gpu:
+            # Naive placement: ship the whole pEdge matrix to the host and
+            # sum it there (the Fig. 16 "on CPU" curve).
+            pedge_host = planner.download(pedge_buf, stage="reduction")
+            queue.host_step("reduction_host",
+                            reduction_host_time(n, self.cpu),
+                            stage="reduction")
+            return float(pedge_host.sum()) / n, False
+
+        # Stage 1: workgroup tree reduction on the device.
+        n_groups, gsz, lsz = reduction_layout(n)
+        partial_buf = ctx.create_buffer((n_groups,), transfer_itemsize=4,
+                                        name="partial0")
+        self._launch(queue, kernels["reduction"],
+                     (pedge_buf, partial_buf, n), gsz, lsz, "reduction")
+
+        stage2_gpu = heuristics.reduction_stage2_on_gpu(flags, n_groups)
+        count = n_groups
+        current = partial_buf
+        level = 1
+        while stage2_gpu and count > GROUP_SPAN:
+            ng2, gsz2, lsz2 = reduction_layout(count)
+            nxt = ctx.create_buffer((ng2,), transfer_itemsize=4,
+                                    name=f"partial{level}")
+            self._launch(queue, kernels["reduction"],
+                         (current, nxt, count), gsz2, lsz2, "reduction")
+            current, count, level = nxt, ng2, level + 1
+
+        # Final: the surviving partials come back in one small transfer and
+        # the host adds them up.
+        partials = planner.download(current, stage="reduction")
+        queue.host_step("reduction_final",
+                        reduction_host_time(count, self.cpu),
+                        stage="reduction")
+        return float(partials.sum()) / n, stage2_gpu

@@ -1,0 +1,68 @@
+"""Device portability: which optimizations survive a hardware change.
+
+The paper's kernels bake in FirePro facts — 64-wide wavefront lock-step in
+the unrolled reductions, a 768x768 border crossover measured for one
+PCI-E/CPU pairing, a map-vs-rw crossover for one link.  This module makes
+those assumptions explicit:
+
+* :func:`check_flags` lists the assumptions a flag set makes that a given
+  device violates (most importantly: the unrolled reduction silently
+  corrupts results on wavefronts narrower than 64 — the emulator-backed
+  test suite demonstrates the corruption);
+* :func:`retune` returns the nearest safe-and-sensible flag set for the
+  device;
+* :func:`device_tuning_summary` recomputes the device-specific critical
+  values (border crossover, transfer-mode crossover) the paper measured
+  "in advance" for the W8000.
+"""
+
+from __future__ import annotations
+
+from ..kernels.reduction import KERNEL_WAVEFRONT
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470
+from .config import OptimizationFlags
+from .heuristics import BORDER_GPU_MIN_SIDE, border_crossover_side
+
+
+def check_flags(flags: OptimizationFlags,
+                device: DeviceSpec) -> list[str]:
+    """Return human-readable warnings for device-unsafe flag choices."""
+    warnings: list[str] = []
+    if (flags.reduction_on_gpu and flags.reduction_unroll > 0
+            and device.wavefront_size < KERNEL_WAVEFRONT):
+        warnings.append(
+            f"reduction_unroll={flags.reduction_unroll} hardcodes "
+            f"{KERNEL_WAVEFRONT}-lane lock-step but {device.name} has "
+            f"{device.wavefront_size}-wide wavefronts: the kernel would "
+            f"silently produce wrong sums; use reduction_unroll=0"
+        )
+    if flags.border_place == "auto":
+        native = border_crossover_side(device)
+        if abs(native - BORDER_GPU_MIN_SIDE) > 256:
+            warnings.append(
+                f"the auto border threshold ({BORDER_GPU_MIN_SIDE}) was "
+                f"measured for the W8000; on {device.name} the crossover "
+                f"sits near {native} — consider re-tuning"
+            )
+    return warnings
+
+
+def retune(flags: OptimizationFlags, device: DeviceSpec) -> OptimizationFlags:
+    """Nearest safe flag set for ``device`` (drops invalid unrolling)."""
+    if (flags.reduction_on_gpu and flags.reduction_unroll > 0
+            and device.wavefront_size < KERNEL_WAVEFRONT):
+        flags = flags.with_(reduction_unroll=0)
+    return flags
+
+
+def device_tuning_summary(device: DeviceSpec,
+                          cpu: CPUSpec = I5_3470) -> dict[str, float]:
+    """The device-specific critical values the paper measured in advance."""
+    return {
+        "border_crossover_side": float(border_crossover_side(device, cpu)),
+        "transfer_crossover_bytes": float(device.pcie.crossover_bytes()),
+        "wavefront_size": float(device.wavefront_size),
+        "unrolled_reduction_valid": float(
+            device.wavefront_size >= KERNEL_WAVEFRONT
+        ),
+    }

@@ -1,0 +1,155 @@
+"""Analytic cost model of the CPU baseline (Intel Core i5-3470, Table I).
+
+Each stage is characterized with the same flops/bytes methodology the GPU
+cost model uses (:mod:`repro.simgpu.costmodel`), so CPU-vs-GPU comparisons
+are apples-to-apples.  The per-pixel work counts below mirror what the
+compiled C loops of each stage perform; the exponent-heavy strength stage
+and the branchy overshoot stage dominate, reproducing the Fig. 13(a)
+breakdown.
+
+Stage labels follow Fig. 13: ``downscale``, ``upscale`` (body + border),
+``perror``, ``sobel``, ``reduction``, ``strength`` (brightness strength +
+preliminary sharpening), ``overshoot``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..simgpu.costmodel import CpuStageCost, cpu_stage_time
+from ..simgpu.device import CPUSpec, I5_3470
+from ..types import SCALE, StageTimes
+
+#: Bytes per element: 8-bit pixels and float intermediates, as in the
+#: compiled baseline.
+_U8 = 1
+_F32 = 4
+
+#: Fig. 13 stage order for reports.
+CPU_STAGE_ORDER = (
+    "downscale",
+    "upscale",
+    "perror",
+    "sobel",
+    "reduction",
+    "strength",
+    "overshoot",
+)
+
+
+def stage_costs(h: int, w: int) -> dict[str, CpuStageCost]:
+    """Work characterization of every CPU stage for an ``h x w`` image."""
+    if h <= 0 or w <= 0 or h % SCALE or w % SCALE:
+        raise ValidationError(f"invalid image size {h}x{w}")
+    n = h * w
+    n_down = (h // SCALE) * (w // SCALE)
+    n_body = (h - 4) * (w - 4)
+    n_border = 2 * (h + w)
+
+    return {
+        # 16 loads, 15 adds, 1 scale per output pixel.
+        "downscale": CpuStageCost(
+            flops=17.0 * n_down,
+            bytes_read=16.0 * _U8 * n_down,
+            bytes_written=_F32 * n_down,
+            label="downscale",
+        ),
+        # Body: 2x2 blend per output pixel (cache keeps the downscaled
+        # reads cheap); border: branchy line interpolation.
+        "upscale": CpuStageCost(
+            flops=8.0 * n_body + 8.0 * n_border,
+            bytes_read=4.0 * _F32 * n_body,
+            bytes_written=_F32 * (n_body + 2.0 * n_border),
+            branchy=True,
+            label="upscale",
+        ),
+        "perror": CpuStageCost(
+            flops=1.0 * n,
+            bytes_read=(_U8 + _F32) * n,
+            bytes_written=_F32 * n,
+            label="perror",
+        ),
+        # 3x3 convolution pair: ~14 multiply/adds + 2 abs + 1 add.
+        "sobel": CpuStageCost(
+            flops=17.0 * n,
+            bytes_read=8.0 * _U8 * n,
+            bytes_written=_F32 * n,
+            label="sobel",
+        ),
+        "reduction": CpuStageCost(
+            flops=1.0 * n,
+            bytes_read=_F32 * n,
+            label="reduction",
+        ),
+        # Brightness strength (divide + pow, the "many exponentiations")
+        # plus the preliminary sharpened matrix.
+        "strength": CpuStageCost(
+            flops=8.0 * n,
+            heavy_ops=1.5 * n,
+            bytes_read=3.0 * _F32 * n,
+            bytes_written=_F32 * n,
+            label="strength",
+        ),
+        # 3x3 min/max (16 compares) + the Fig. 8 decision tree; branchy.
+        "overshoot": CpuStageCost(
+            flops=30.0 * n,
+            bytes_read=(9.0 * _U8 + _F32) * n,
+            bytes_written=_U8 * n,
+            branchy=True,
+            label="overshoot",
+        ),
+    }
+
+
+def stage_times(h: int, w: int, cpu: CPUSpec = I5_3470) -> StageTimes:
+    """Simulated per-stage times of the CPU baseline."""
+    times = StageTimes()
+    for name, cost in stage_costs(h, w).items():
+        times.add(name, cpu_stage_time(cost, cpu))
+    return times
+
+
+def total_time(h: int, w: int, cpu: CPUSpec = I5_3470) -> float:
+    """Simulated total CPU pipeline time."""
+    return stage_times(h, w, cpu).total
+
+
+# ---------------------------------------------------------------------------
+# Host-side helpers used by the GPU pipeline (border / reduction on CPU)
+# ---------------------------------------------------------------------------
+
+
+def border_host_time(h: int, w: int, cpu: CPUSpec = I5_3470) -> float:
+    """CPU time to compute the four upscaled border lines (transfer billed
+    separately by the pipeline)."""
+    n_border = 2 * (h + w)
+    cost = CpuStageCost(
+        flops=8.0 * n_border,
+        bytes_read=2.0 * _F32 * n_border,
+        bytes_written=2.0 * _F32 * n_border,
+        branchy=True,
+        label="border_host",
+    )
+    return cpu_stage_time(cost, cpu)
+
+
+def reduction_host_time(n_elements: int, cpu: CPUSpec = I5_3470) -> float:
+    """CPU time to sum ``n_elements`` floats (transfer billed separately)."""
+    cost = CpuStageCost(
+        flops=1.0 * n_elements,
+        bytes_read=_F32 * n_elements,
+        label="reduction_host",
+    )
+    return cpu_stage_time(cost, cpu)
+
+
+def padding_host_time(h: int, w: int, cpu: CPUSpec = I5_3470) -> float:
+    """CPU time to copy the image into a padded matrix row by row — the
+    host-side padding the ``WriteBufferRect`` optimization eliminates."""
+    n = h * w
+    cost = CpuStageCost(
+        flops=0.0,
+        bytes_read=_U8 * n,
+        bytes_written=_U8 * n,
+        label="padding_host",
+    )
+    return cpu_stage_time(cost, cpu)

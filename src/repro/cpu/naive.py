@@ -1,0 +1,217 @@
+"""Scalar golden reference for every sharpness stage.
+
+These are direct transliterations of the paper's stage descriptions into
+explicit Python loops.  They share **no code** with the vectorized canonical
+implementations in :mod:`repro.algo.stages`, which makes them a meaningful
+cross-check; the test suite asserts the two agree to float64 precision on a
+battery of synthetic images.
+
+They are intentionally simple and slow — use them on small images only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algo.stages import BORDER_WEIGHTS, SOBEL_GX, SOBEL_GY, UPSCALE_P
+from ..types import FLOAT, SCALE, SharpnessParams
+
+
+def downscale(src: np.ndarray) -> np.ndarray:
+    arr = np.asarray(src, dtype=FLOAT)
+    h, w = arr.shape
+    nr, nc = h // SCALE, w // SCALE
+    out = np.zeros((nr, nc), dtype=FLOAT)
+    for i in range(nr):
+        for j in range(nc):
+            acc = 0.0
+            for di in range(SCALE):
+                for dj in range(SCALE):
+                    acc += arr[SCALE * i + di, SCALE * j + dj]
+            out[i, j] = acc / (SCALE * SCALE)
+    return out
+
+
+def upscale_border_line(line: np.ndarray, out_len: int) -> np.ndarray:
+    d = np.asarray(line, dtype=FLOAT)
+    n = d.shape[0]
+    out = np.zeros(out_len, dtype=FLOAT)
+    for c in range(n):
+        out[SCALE * c] = d[c]
+    for c in range(n - 1):
+        for k in range(1, SCALE):
+            wl, wr = BORDER_WEIGHTS[k]
+            out[SCALE * c + k] = wl * d[c] + wr * d[c + 1]
+    for j in (out_len - 3, out_len - 2, out_len - 1):
+        out[j] = out[out_len - SCALE]
+    return out
+
+
+def upscale_body(down: np.ndarray) -> np.ndarray:
+    d = np.asarray(down, dtype=FLOAT)
+    nr, nc = d.shape
+    out = np.zeros((SCALE * (nr - 1), SCALE * (nc - 1)), dtype=FLOAT)
+    p = UPSCALE_P
+    for r in range(nr - 1):
+        for c in range(nc - 1):
+            block = p @ d[r : r + 2, c : c + 2] @ p.T
+            out[SCALE * r : SCALE * r + SCALE,
+                SCALE * c : SCALE * c + SCALE] = block
+    return out
+
+
+def upscale(down: np.ndarray) -> np.ndarray:
+    d = np.asarray(down, dtype=FLOAT)
+    nr, nc = d.shape
+    h, w = SCALE * nr, SCALE * nc
+    up = np.zeros((h, w), dtype=FLOAT)
+    up[2 : h - 2, 2 : w - 2] = upscale_body(d)
+    row0 = upscale_border_line(d[0], w)
+    up[0, :] = row0
+    up[1, :] = row0
+    rowl = upscale_border_line(d[nr - 1], w)
+    up[h - 2, :] = rowl
+    up[h - 1, :] = rowl
+    col0 = upscale_border_line(d[:, 0], h)
+    up[:, 0] = col0
+    up[:, 1] = col0
+    coll = upscale_border_line(d[:, nc - 1], h)
+    up[:, w - 2] = coll
+    up[:, w - 1] = coll
+    corner = up[h - 3, w - 1]
+    for i in (h - 2, h - 1):
+        for j in (w - 2, w - 1):
+            up[i, j] = corner
+    return up
+
+
+def perror(src: np.ndarray, upscaled: np.ndarray) -> np.ndarray:
+    a = np.asarray(src, dtype=FLOAT)
+    b = np.asarray(upscaled, dtype=FLOAT)
+    h, w = a.shape
+    out = np.zeros((h, w), dtype=FLOAT)
+    for i in range(h):
+        for j in range(w):
+            out[i, j] = a[i, j] - b[i, j]
+    return out
+
+
+def sobel(src: np.ndarray) -> np.ndarray:
+    arr = np.asarray(src, dtype=FLOAT)
+    h, w = arr.shape
+    out = np.zeros((h, w), dtype=FLOAT)
+    for i in range(1, h - 1):
+        for j in range(1, w - 1):
+            gx = 0.0
+            gy = 0.0
+            for di in range(-1, 2):
+                for dj in range(-1, 2):
+                    v = arr[i + di, j + dj]
+                    gx += SOBEL_GX[di + 1, dj + 1] * v
+                    gy += SOBEL_GY[di + 1, dj + 1] * v
+            out[i, j] = abs(gx) + abs(gy)
+    return out
+
+
+def reduce_sum(values: np.ndarray) -> float:
+    arr = np.asarray(values, dtype=FLOAT)
+    acc = 0.0
+    for v in arr.ravel():
+        acc += float(v)
+    return acc
+
+
+def reduce_mean(values: np.ndarray) -> float:
+    arr = np.asarray(values, dtype=FLOAT)
+    return reduce_sum(arr) / float(arr.size)
+
+
+def strength_map(
+    p_edge: np.ndarray, edge_mean: float, params: SharpnessParams
+) -> np.ndarray:
+    edge = np.asarray(p_edge, dtype=FLOAT)
+    h, w = edge.shape
+    out = np.zeros((h, w), dtype=FLOAT)
+    if edge_mean <= 0.0:
+        return out
+    for i in range(h):
+        for j in range(w):
+            norm = edge[i, j] / edge_mean
+            s = params.gain * norm**params.gamma
+            out[i, j] = min(max(s, 0.0), params.strength_max)
+    return out
+
+
+def preliminary_sharpen(
+    upscaled: np.ndarray, p_error: np.ndarray, strength: np.ndarray
+) -> np.ndarray:
+    u = np.asarray(upscaled, dtype=FLOAT)
+    e = np.asarray(p_error, dtype=FLOAT)
+    s = np.asarray(strength, dtype=FLOAT)
+    h, w = u.shape
+    out = np.zeros((h, w), dtype=FLOAT)
+    for i in range(h):
+        for j in range(w):
+            out[i, j] = u[i, j] + s[i, j] * e[i, j]
+    return out
+
+
+def overshoot_control(
+    preliminary: np.ndarray, src: np.ndarray, params: SharpnessParams
+) -> np.ndarray:
+    p = np.asarray(preliminary, dtype=FLOAT)
+    o = np.asarray(src, dtype=FLOAT)
+    h, w = p.shape
+    osc = params.overshoot
+    out = np.zeros((h, w), dtype=FLOAT)
+    # Border: copy preliminary (clamped).
+    for j in range(w):
+        out[0, j] = min(max(p[0, j], 0.0), 255.0)
+        out[h - 1, j] = min(max(p[h - 1, j], 0.0), 255.0)
+    for i in range(h):
+        out[i, 0] = min(max(p[i, 0], 0.0), 255.0)
+        out[i, w - 1] = min(max(p[i, w - 1], 0.0), 255.0)
+    # Body: Fig. 8 decision diagram.
+    for i in range(1, h - 1):
+        for j in range(1, w - 1):
+            mx = -np.inf
+            mn = np.inf
+            for di in range(-1, 2):
+                for dj in range(-1, 2):
+                    v = o[i + di, j + dj]
+                    mx = max(mx, v)
+                    mn = min(mn, v)
+            val = p[i, j]
+            if val > mx:
+                out[i, j] = min(mx + osc * (val - mx), 255.0)
+            elif val < mn:
+                out[i, j] = max(mn - osc * (mn - val), 0.0)
+            else:
+                out[i, j] = min(max(val, 0.0), 255.0)
+    return out
+
+
+def sharpen(
+    src: np.ndarray, params: SharpnessParams | None = None
+) -> dict[str, np.ndarray | float]:
+    """Full scalar pipeline; mirrors :func:`repro.algo.stages.sharpen`."""
+    params = params or SharpnessParams()
+    arr = np.asarray(src, dtype=FLOAT)
+    down = downscale(arr)
+    up = upscale(down)
+    err = perror(arr, up)
+    edge = sobel(arr)
+    edge_mean = reduce_mean(edge)
+    strength = strength_map(edge, edge_mean, params)
+    prelim = preliminary_sharpen(up, err, strength)
+    final = overshoot_control(prelim, arr, params)
+    return {
+        "downscaled": down,
+        "upscaled": up,
+        "p_error": err,
+        "p_edge": edge,
+        "edge_mean": edge_mean,
+        "strength": strength,
+        "preliminary": prelim,
+        "final": final,
+    }

@@ -1,0 +1,43 @@
+"""The "well-optimized CPU version" of each stage.
+
+These delegate to the canonical vectorized implementations in
+:mod:`repro.algo.stages` — the NumPy equivalents of the compiled ``-O3``
+loops the paper benchmarks against.  They exist as a named module so the
+pipeline and tests can speak about the CPU baseline explicitly, and so the
+golden-reference tests compare *three* implementations (naive scalar,
+optimized CPU, simulated-GPU kernels) pairwise.
+"""
+
+from __future__ import annotations
+
+from ..algo.stages import (
+    downscale,
+    overshoot_control,
+    perror,
+    preliminary_sharpen,
+    reduce_mean,
+    reduce_sum,
+    sharpen,
+    sobel,
+    strength_map,
+    upscale,
+    upscale_body,
+    upscale_border_apply,
+    upscale_border_line,
+)
+
+__all__ = [
+    "downscale",
+    "overshoot_control",
+    "perror",
+    "preliminary_sharpen",
+    "reduce_mean",
+    "reduce_sum",
+    "sharpen",
+    "sobel",
+    "strength_map",
+    "upscale",
+    "upscale_body",
+    "upscale_border_apply",
+    "upscale_border_line",
+]

@@ -1,0 +1,89 @@
+"""The CPU baseline pipeline (the comparator of Fig. 12/13a).
+
+Runs the canonical vectorized stages and attaches the i5-3470 cost model's
+per-stage simulated times, so experiments can report both the baseline's
+output image and its Fig.-13(a)-style time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algo import stages as algo
+from ..simgpu.device import CPUSpec, I5_3470
+from ..types import Image, SharpnessParams, StageTimes
+from . import cost
+
+
+@dataclass
+class CPUResult:
+    """Output of one CPU pipeline run."""
+
+    final: np.ndarray
+    times: StageTimes
+    edge_mean: float
+    intermediates: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.times.total
+
+    def final_u8(self) -> np.ndarray:
+        return np.clip(np.rint(self.final), 0, 255).astype(np.uint8)
+
+
+class CPUPipeline:
+    """The paper's well-optimized CPU implementation of sharpness.
+
+    Parameters
+    ----------
+    params:
+        Sharpening tuning parameters.
+    cpu:
+        CPU spec used for the simulated timing (defaults to Table I's
+        i5-3470).
+    keep_intermediates:
+        Retain every intermediate matrix on the result (tests/examples).
+    """
+
+    def __init__(self, params: SharpnessParams | None = None,
+                 cpu: CPUSpec = I5_3470, *,
+                 keep_intermediates: bool = False) -> None:
+        self.params = params or SharpnessParams()
+        self.cpu = cpu
+        self.keep_intermediates = keep_intermediates
+
+    def run(self, image: Image | np.ndarray) -> CPUResult:
+        if not isinstance(image, Image):
+            image = Image.from_array(np.asarray(image))
+        src = image.plane
+        h, w = src.shape
+        times = cost.stage_times(h, w, self.cpu)
+
+        down = algo.downscale(src)
+        up = algo.upscale(down)
+        err = algo.perror(src, up)
+        edge = algo.sobel(src)
+        edge_mean = algo.reduce_mean(edge)
+        strength = algo.strength_map(edge, edge_mean, self.params)
+        prelim = algo.preliminary_sharpen(up, err, strength)
+        final = algo.overshoot_control(prelim, src, self.params)
+
+        intermediates: dict[str, np.ndarray] = {}
+        if self.keep_intermediates:
+            intermediates = {
+                "downscaled": down,
+                "upscaled": up,
+                "p_error": err,
+                "p_edge": edge,
+                "strength": strength,
+                "preliminary": prelim,
+            }
+        return CPUResult(
+            final=final,
+            times=times,
+            edge_mean=edge_mean,
+            intermediates=intermediates,
+        )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch the whole family with one ``except`` clause.  The sub-classes mirror
+the layers of the system: validation of user inputs, the simulated OpenCL
+runtime (host API misuse), and the device emulator (kernel-side faults such as
+barrier divergence or out-of-bounds local memory access).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input image, shape, or parameter failed validation."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid combination of pipeline configuration options."""
+
+
+# --------------------------------------------------------------------------
+# Simulated OpenCL host API errors (mirror CL_* error codes conceptually)
+# --------------------------------------------------------------------------
+
+
+class CLError(ReproError):
+    """Base class for simulated OpenCL host-API errors."""
+
+
+class InvalidBufferError(CLError):
+    """A buffer was used after release, across contexts, or out of bounds."""
+
+
+class InvalidKernelArgsError(CLError):
+    """Kernel arguments do not match the kernel's declared signature."""
+
+
+class InvalidWorkGroupError(CLError):
+    """The NDRange / workgroup configuration is invalid for the device."""
+
+
+class MapError(CLError):
+    """Invalid map/unmap usage (double map, unmap without map, ...)."""
+
+
+class QueueError(CLError):
+    """Invalid command-queue usage (enqueue after finish-and-release, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Device emulator faults (kernel-side)
+# --------------------------------------------------------------------------
+
+
+class DeviceFault(ReproError):
+    """Base class for faults detected while emulating a kernel."""
+
+
+class BarrierDivergenceError(DeviceFault):
+    """Work-items of one workgroup reached different numbers of barriers."""
+
+
+class LocalMemoryError(DeviceFault):
+    """Out-of-bounds or over-allocated local (``__local``) memory access."""
+
+
+class GlobalMemoryError(DeviceFault):
+    """Out-of-bounds access to a global-memory buffer from a kernel."""
+
+
+class RaceConditionError(DeviceFault):
+    """Two work-items accessed the same memory cell without an intervening
+    synchronization point, with at least one access being a write."""

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured rows and
+``report(...)`` rendering the same rows/series the paper plots, plus the
+paper's numbers as module constants so EXPERIMENTS.md and the test suite can
+compare shapes.  ``python -m repro.experiments <name|all>`` regenerates
+everything from the command line.
+"""
+
+from . import (
+    ablations,
+    calibrate,
+    fig12_speedup,
+    fig13_fractions,
+    fig14_stepwise,
+    fig15_unroll,
+    fig16_reduction,
+    fig17_border,
+    hardware,
+    portability,
+    quality,
+)
+from .runner import WORKLOADS, make_image
+
+__all__ = [
+    "ablations",
+    "calibrate",
+    "fig12_speedup",
+    "fig13_fractions",
+    "fig14_stepwise",
+    "fig15_unroll",
+    "fig16_reduction",
+    "fig17_border",
+    "hardware",
+    "portability",
+    "quality",
+    "WORKLOADS",
+    "make_image",
+]

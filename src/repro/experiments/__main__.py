@@ -1,0 +1,95 @@
+"""Command-line entry: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig12 --sizes 256 512 1024
+    python -m repro.experiments fig13 --workload text
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablations,
+    calibrate,
+    fig12_speedup,
+    fig13_fractions,
+    fig14_stepwise,
+    fig15_unroll,
+    fig16_reduction,
+    fig17_border,
+    hardware,
+    portability,
+    quality,
+)
+
+EXPERIMENTS = ("table1", "fig12", "fig13", "fig14", "fig15", "fig16",
+               "fig17", "ablations", "calibration", "portability", "quality")
+
+
+def _run_one(name: str, sizes: list[int] | None, workload: str) -> str:
+    if name == "table1":
+        return hardware.report()
+    if name == "fig12":
+        rows = fig12_speedup.run(sizes or fig12_speedup.PAPER_SIZES,
+                                 workload)
+        return fig12_speedup.report(rows)
+    if name == "fig13":
+        return fig13_fractions.report_all(
+            sizes or fig13_fractions.PAPER_SIZES, workload
+        )
+    if name == "fig14":
+        rows = fig14_stepwise.run(sizes or fig14_stepwise.FIG14_SIZES,
+                                  workload)
+        return fig14_stepwise.report(rows)
+    if name == "fig15":
+        return fig15_unroll.report(
+            fig15_unroll.run(sizes or fig15_unroll.FIG15_SIZES)
+        )
+    if name == "fig16":
+        return fig16_reduction.report(
+            fig16_reduction.run(sizes or fig16_reduction.FIG16_SIZES)
+        )
+    if name == "fig17":
+        return fig17_border.report(
+            fig17_border.run(sizes or fig17_border.FIG17_SIZES)
+        )
+    if name == "ablations":
+        return ablations.report_all()
+    if name == "calibration":
+        return calibrate.report()
+    if name == "portability":
+        return portability.report(portability.run())
+    if name == "quality":
+        return quality.report(quality.run())
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on the "
+                    "simulated platform.",
+    )
+    parser.add_argument("experiment",
+                        choices=EXPERIMENTS + ("all",),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help="override the image side lengths")
+    parser.add_argument("--workload", default="natural",
+                        help="synthetic workload name (default: natural)")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        print(_run_one(name, args.sizes, args.workload))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

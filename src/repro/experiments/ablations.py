@@ -1,0 +1,221 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Three studies, each pricing alternatives the paper mentions but does not
+plot:
+
+* **Sobel implementation strategy** — scalar vs vectorized (the paper's
+  choice, after Zhang et al.) vs LDS-tiled (Brown et al.'s shared-memory
+  approach, cited in related work).
+* **Reduction workgroup layout** — the paper "fixes the amount of data
+  processed per thread" without reporting the sweep; this regenerates it
+  over workgroup sizes and per-thread element counts.
+* **Fusion traffic accounting** — global-memory bytes of the fused
+  sharpness kernel vs the unfused three-kernel tail, the quantity section
+  V.B argues about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernels.base import round_up
+from ..kernels.reduction import barriers_for
+from ..kernels.sharpness import (
+    make_overshoot_spec,
+    make_prelim_spec,
+    make_sharpness_fused_spec,
+)
+from ..kernels.perror import make_perror_spec
+from ..kernels.sobel import make_sobel_spec
+from ..simgpu.costmodel import kernel_time
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+from .fig15_unroll import reduction_gpu_time
+
+# ---------------------------------------------------------------------------
+# Ablation 1: Sobel implementation strategy
+# ---------------------------------------------------------------------------
+
+SOBEL_SIZES = (256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class SobelAblationRow:
+    size: int
+    scalar_time: float
+    vector_time: float
+    tiled_time: float
+
+
+def _sobel_time(size: int, device: DeviceSpec, *, vector: bool = False,
+                tiled: bool = False) -> float:
+    spec = make_sobel_spec(padded=True, vector=vector, tiled=tiled,
+                           builtins=True)
+    if vector:
+        gsz = (round_up(size // 4, 16), round_up(size, 16))
+    else:
+        gsz = (round_up(size, 16), round_up(size, 16))
+    lsz = (16, 16)
+    return kernel_time(spec.cost(device, gsz, lsz, (None, None, size,
+                                                    size)), device)
+
+
+def run_sobel(sizes=SOBEL_SIZES,
+              device: DeviceSpec = W8000) -> list[SobelAblationRow]:
+    return [
+        SobelAblationRow(
+            size=size,
+            scalar_time=_sobel_time(size, device),
+            vector_time=_sobel_time(size, device, vector=True),
+            tiled_time=_sobel_time(size, device, tiled=True),
+        )
+        for size in sizes
+    ]
+
+
+def report_sobel(rows: list[SobelAblationRow]) -> str:
+    table = format_table(
+        ["size", "scalar (us)", "vector x4 (us)", "LDS tiled (us)"],
+        [
+            [f"{r.size}x{r.size}", r.scalar_time * 1e6,
+             r.vector_time * 1e6, r.tiled_time * 1e6]
+            for r in rows
+        ],
+        title="Ablation — Sobel: scalar vs vectorized vs LDS-tiled",
+    )
+    return (
+        f"{table}\n"
+        "the paper picks vectorization (after Zhang et al.); the tiled "
+        "kernel trades\nglobal traffic for LDS traffic plus a barrier per "
+        "group and lands in the same\nballpark — both clearly beat the "
+        "scalar kernel."
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: reduction workgroup layout
+# ---------------------------------------------------------------------------
+
+REDUCTION_WGS = (64, 128, 256)
+REDUCTION_EPTS = (1, 2, 8, 32)
+
+
+@dataclass(frozen=True)
+class ReductionLayoutRow:
+    wg: int
+    ept: int
+    barriers: int
+    time: float
+
+
+def run_reduction_layout(n: int = 4096 * 4096,
+                         wgs=REDUCTION_WGS, epts=REDUCTION_EPTS,
+                         device: DeviceSpec = W8000,
+                         cpu: CPUSpec = I5_3470) -> list[ReductionLayoutRow]:
+    rows = []
+    for wg in wgs:
+        for ept in epts:
+            rows.append(ReductionLayoutRow(
+                wg=wg,
+                ept=ept,
+                barriers=barriers_for(1, wg),
+                time=reduction_gpu_time(n, unroll=1, wg=wg, ept=ept,
+                                        device=device, cpu=cpu),
+            ))
+    return rows
+
+
+def best_reduction_layout(rows: list[ReductionLayoutRow]
+                          ) -> ReductionLayoutRow:
+    return min(rows, key=lambda r: r.time)
+
+
+def report_reduction_layout(rows: list[ReductionLayoutRow],
+                            n: int = 4096 * 4096) -> str:
+    table = format_table(
+        ["workgroup", "elems/thread", "barriers/group", "time (us)"],
+        [[r.wg, r.ept, r.barriers, r.time * 1e6] for r in rows],
+        title=f"Ablation — reduction layout sweep ({n} elements)",
+    )
+    best = best_reduction_layout(rows)
+    return (
+        f"{table}\n"
+        f"best layout: workgroup {best.wg}, {best.ept} elements/thread "
+        f"(paper uses 128 x 8)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: fusion traffic accounting (section V.B)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusionRow:
+    size: int
+    unfused_bytes: float
+    fused_bytes: float
+    unfused_time: float
+    fused_time: float
+
+    @property
+    def traffic_saving(self) -> float:
+        return 1.0 - self.fused_bytes / self.unfused_bytes
+
+
+def run_fusion(sizes=SOBEL_SIZES,
+               device: DeviceSpec = W8000) -> list[FusionRow]:
+    rows = []
+    for size in sizes:
+        gsz = (round_up(size, 16), round_up(size, 16))
+        lsz = (16, 16)
+        args = (None, None, None, None, 0.0, None, size, size)
+        unfused_specs = [
+            make_perror_spec(padded=True, builtins=True),
+            make_prelim_spec(builtins=True),
+            make_overshoot_spec(padded=True, builtins=True),
+        ]
+        unfused_costs = [s.cost(device, gsz, lsz, args)
+                         for s in unfused_specs]
+        fused_cost = make_sharpness_fused_spec(
+            padded=True, builtins=True).cost(device, gsz, lsz, args)
+        rows.append(FusionRow(
+            size=size,
+            unfused_bytes=sum(c.global_bytes_read + c.global_bytes_written
+                              for c in unfused_costs),
+            fused_bytes=(fused_cost.global_bytes_read
+                         + fused_cost.global_bytes_written),
+            unfused_time=sum(kernel_time(c, device)
+                             for c in unfused_costs),
+            fused_time=kernel_time(fused_cost, device),
+        ))
+    return rows
+
+
+def report_fusion(rows: list[FusionRow]) -> str:
+    table = format_table(
+        ["size", "unfused bytes", "fused bytes", "traffic saved",
+         "unfused (us)", "fused (us)", "speedup"],
+        [
+            [f"{r.size}x{r.size}", r.unfused_bytes, r.fused_bytes,
+             f"{100 * r.traffic_saving:.0f}%", r.unfused_time * 1e6,
+             r.fused_time * 1e6,
+             f"{r.unfused_time / r.fused_time:.2f}x"]
+            for r in rows
+        ],
+        title="Ablation — kernel fusion traffic (section V.B)",
+    )
+    return (
+        f"{table}\n"
+        "fusion keeps pError and the preliminary matrix in registers: two "
+        "kernel\nlaunches and their full-matrix global round-trips "
+        "disappear."
+    )
+
+
+def report_all() -> str:
+    return "\n\n".join([
+        report_sobel(run_sobel()),
+        report_reduction_layout(run_reduction_layout()),
+        report_fusion(run_fusion()),
+    ])

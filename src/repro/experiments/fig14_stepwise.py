@@ -1,0 +1,79 @@
+"""Fig. 14: performance after each step of optimization.
+
+Paper result: the combined optimizations bring 1.15x-9.04x over the base
+version for sizes 256x256 to 8192x8192; the reduction and vectorization
+steps contribute the most; the transfer/fusion step *reduces* performance
+at small sizes (map/unmap is effective there) and only pays off as the
+image grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import LADDER, GPUPipeline
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+from .runner import DEFAULT_PARAMS, make_image
+
+#: Sizes shown in Fig. 14.
+FIG14_SIZES = (256, 1024, 4096)
+
+#: Combined-optimization speedup range the paper reports over 256..8192.
+PAPER_TOTAL_RANGE = (1.15, 9.04)
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """One optimization-ladder step at one size."""
+
+    size: int
+    step: str
+    time: float
+    speedup_vs_base: float
+
+
+def run(sizes=FIG14_SIZES, workload: str = "natural",
+        device: DeviceSpec = W8000,
+        cpu: CPUSpec = I5_3470) -> list[Fig14Row]:
+    rows: list[Fig14Row] = []
+    for size in sizes:
+        image = make_image(size, workload)
+        base_time = None
+        for step_name, flags in LADDER:
+            res = GPUPipeline(flags, DEFAULT_PARAMS, device, cpu).run(image)
+            if base_time is None:
+                base_time = res.total_time
+            rows.append(Fig14Row(
+                size=size,
+                step=step_name,
+                time=res.total_time,
+                speedup_vs_base=base_time / res.total_time,
+            ))
+    return rows
+
+
+def report(rows: list[Fig14Row]) -> str:
+    table = format_table(
+        ["size", "step", "time (ms)", "speedup vs base"],
+        [
+            [f"{r.size}x{r.size}", r.step, r.time * 1e3,
+             f"{r.speedup_vs_base:.2f}x"]
+            for r in rows
+        ],
+        title="Fig. 14 — step-wise optimization comparison",
+    )
+    return (
+        f"{table}\n"
+        f"paper: combined optimizations bring "
+        f"{PAPER_TOTAL_RANGE[0]}x-{PAPER_TOTAL_RANGE[1]}x over the base "
+        f"version (256x256 .. 8192x8192)"
+    )
+
+
+def final_speedups(rows: list[Fig14Row]) -> dict[int, float]:
+    """size -> combined-optimization speedup (last ladder step)."""
+    out: dict[int, float] = {}
+    for r in rows:
+        out[r.size] = r.speedup_vs_base  # last write per size wins
+    return out

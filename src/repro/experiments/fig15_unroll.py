@@ -1,0 +1,128 @@
+"""Fig. 15: comparison of the two unrolled reduction kernels.
+
+Paper result: unrolling the last *one* wavefront beats unrolling the last
+*two* — "the reason is the barrier after the calculation: unrolling the last
+two wavefronts increases the overhead of synchronization".
+
+This module prices the full two-stage reduction flow (stage-1 kernel(s),
+stage-2 placement, final partial download and host add) straight from the
+cost model, mirroring :meth:`repro.core.pipeline.GPUPipeline._reduce`; the
+test suite asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.heuristics import reduction_stage2_on_gpu
+from ..core.config import OptimizationFlags
+from ..cpu.cost import reduction_host_time
+from ..kernels.reduction import make_reduction_spec, reduction_layout
+from ..simgpu.costmodel import kernel_time
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+
+FIG15_SIZES = (256, 1024, 4096)
+
+
+def reduction_gpu_time(n: int, *, unroll: int = 1,
+                       device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470,
+                       stage2: str = "auto", builtins: bool = True,
+                       wg: int | None = None, ept: int | None = None,
+                       include_sync: bool = False) -> float:
+    """Model time of the full GPU reduction of ``n`` elements.
+
+    ``wg``/``ept`` override the paper's workgroup size and per-thread
+    element count (used by the ablation experiments).
+    """
+    layout_kw = {}
+    if wg is not None:
+        layout_kw["wg"] = wg
+    if ept is not None:
+        layout_kw["ept"] = ept
+    spec = make_reduction_spec(unroll=unroll, builtins=builtins,
+                               **layout_kw)
+    flags = OptimizationFlags(reduction_stage2=stage2)
+    total = 0.0
+
+    n_groups, gsz, lsz = reduction_layout(n, **layout_kw)
+    total += kernel_time(spec.cost(device, gsz, lsz, (None, None, n)),
+                         device)
+    if include_sync:
+        total += device.sync_overhead_s
+
+    span = lsz[0] * (ept or 8)
+    stage2_gpu = reduction_stage2_on_gpu(flags, n_groups)
+    count = n_groups
+    while stage2_gpu and count > span:
+        ng2, gsz2, lsz2 = reduction_layout(count, **layout_kw)
+        total += kernel_time(
+            spec.cost(device, gsz2, lsz2, (None, None, count)), device
+        )
+        if include_sync:
+            total += device.sync_overhead_s
+        count = ng2
+
+    total += device.pcie.rw_time(count * 4)
+    total += reduction_host_time(count, cpu)
+    return total
+
+
+def reduction_cpu_time(n: int, *, device: DeviceSpec = W8000,
+                       cpu: CPUSpec = I5_3470,
+                       transfer_mode: str = "rw") -> float:
+    """Model time of the CPU reduction, including the pEdge transfer."""
+    nbytes = n * 4
+    if transfer_mode == "rw":
+        transfer = device.pcie.rw_time(nbytes)
+    else:
+        transfer = device.pcie.map_time(nbytes)
+    return transfer + reduction_host_time(n, cpu)
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    size: int
+    unroll1_time: float
+    unroll2_time: float
+    naive_time: float
+
+    @property
+    def unroll1_vs_unroll2(self) -> float:
+        return self.unroll2_time / self.unroll1_time
+
+
+def run(sizes=FIG15_SIZES, device: DeviceSpec = W8000,
+        cpu: CPUSpec = I5_3470) -> list[Fig15Row]:
+    rows = []
+    for size in sizes:
+        n = size * size
+        rows.append(Fig15Row(
+            size=size,
+            unroll1_time=reduction_gpu_time(n, unroll=1, device=device,
+                                            cpu=cpu),
+            unroll2_time=reduction_gpu_time(n, unroll=2, device=device,
+                                            cpu=cpu),
+            naive_time=reduction_gpu_time(n, unroll=0, device=device,
+                                          cpu=cpu),
+        ))
+    return rows
+
+
+def report(rows: list[Fig15Row]) -> str:
+    table = format_table(
+        ["size", "unroll 1 wavefront (us)", "unroll 2 wavefronts (us)",
+         "plain tree (us)", "u2/u1"],
+        [
+            [f"{r.size}x{r.size}", r.unroll1_time * 1e6,
+             r.unroll2_time * 1e6, r.naive_time * 1e6,
+             f"{r.unroll1_vs_unroll2:.3f}x"]
+            for r in rows
+        ],
+        title="Fig. 15 — reduction kernels: unroll one vs two wavefronts",
+    )
+    return (
+        f"{table}\n"
+        "paper: unrolling one wavefront works better (the extra barrier of "
+        "the two-wavefront variant adds synchronization overhead)"
+    )

@@ -1,0 +1,59 @@
+"""Fig. 16: reduction on CPU (including the pEdge transfer) vs on GPU.
+
+Paper result: "after using GPU to accelerate, performance of reduction
+improved up to 30.8 times"; the CPU curve includes transferring the pEdge
+matrix from the device to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+from .fig15_unroll import reduction_cpu_time, reduction_gpu_time
+
+FIG16_SIZES = (256, 1024, 4096)
+
+#: Maximum CPU/GPU reduction ratio the paper reports.
+PAPER_MAX_SPEEDUP = 30.8
+
+
+@dataclass(frozen=True)
+class Fig16Row:
+    size: int
+    cpu_time: float
+    gpu_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_time / self.gpu_time
+
+
+def run(sizes=FIG16_SIZES, device: DeviceSpec = W8000,
+        cpu: CPUSpec = I5_3470, *,
+        transfer_mode: str = "rw") -> list[Fig16Row]:
+    rows = []
+    for size in sizes:
+        n = size * size
+        rows.append(Fig16Row(
+            size=size,
+            cpu_time=reduction_cpu_time(n, device=device, cpu=cpu,
+                                        transfer_mode=transfer_mode),
+            gpu_time=reduction_gpu_time(n, unroll=1, device=device,
+                                        cpu=cpu),
+        ))
+    return rows
+
+
+def report(rows: list[Fig16Row]) -> str:
+    table = format_table(
+        ["size", "on CPU (us, incl. transfer)", "on GPU (us)", "speedup"],
+        [
+            [f"{r.size}x{r.size}", r.cpu_time * 1e6, r.gpu_time * 1e6,
+             f"{r.speedup:.1f}x"]
+            for r in rows
+        ],
+        title="Fig. 16 — reduction on CPU vs GPU",
+    )
+    return f"{table}\npaper: GPU reduction up to {PAPER_MAX_SPEEDUP}x faster"

@@ -1,0 +1,70 @@
+"""Fig. 17: upscale-border processing on CPU vs GPU.
+
+Paper result: the CPU (including its transfers) is faster for small images;
+the GPU overtakes as the image grows; "the critical value is 768x768".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.heuristics import (
+    BORDER_GPU_MIN_SIDE,
+    border_cpu_time,
+    border_crossover_side,
+    border_gpu_time,
+)
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+
+#: Sizes plotted in Fig. 17.
+FIG17_SIZES = (448, 576, 704, 768, 832)
+
+#: The paper's critical value.
+PAPER_CROSSOVER = 768
+
+
+@dataclass(frozen=True)
+class Fig17Row:
+    size: int
+    cpu_time: float
+    gpu_time: float
+
+    @property
+    def winner(self) -> str:
+        return "gpu" if self.gpu_time <= self.cpu_time else "cpu"
+
+
+def run(sizes=FIG17_SIZES, device: DeviceSpec = W8000,
+        cpu: CPUSpec = I5_3470, *,
+        transfer_mode: str = "rw") -> list[Fig17Row]:
+    return [
+        Fig17Row(
+            size=size,
+            cpu_time=border_cpu_time(size, size, device, cpu,
+                                     transfer_mode=transfer_mode),
+            gpu_time=border_gpu_time(size, size, device),
+        )
+        for size in sizes
+    ]
+
+
+def report(rows: list[Fig17Row], device: DeviceSpec = W8000,
+           cpu: CPUSpec = I5_3470) -> str:
+    table = format_table(
+        ["size", "border on CPU (us, incl. transfers)",
+         "border on GPU (us)", "winner"],
+        [
+            [f"{r.size}x{r.size}", r.cpu_time * 1e6, r.gpu_time * 1e6,
+             r.winner]
+            for r in rows
+        ],
+        title="Fig. 17 — upscale border on CPU vs GPU",
+    )
+    measured = border_crossover_side(device, cpu)
+    return (
+        f"{table}\n"
+        f"measured crossover: {measured}x{measured} "
+        f"(paper: {PAPER_CROSSOVER}x{PAPER_CROSSOVER}; pipeline heuristic "
+        f"uses {BORDER_GPU_MIN_SIDE})"
+    )

@@ -1,0 +1,64 @@
+"""Table I: comparison of experimental hardware platform specifications.
+
+Rendered directly from the device specs the simulator is parameterized
+with, so the table the harness prints *is* the configuration every other
+experiment runs under.
+"""
+
+from __future__ import annotations
+
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..util.tables import format_table
+
+#: The values printed in the paper's Table I.
+PAPER_TABLE1 = {
+    "AMD W8000": {
+        "clock_ghz": 0.88,
+        "cores": 1792,
+        "peak_gflops": 3230.0,
+        "mem_bandwidth_gbps": 176.0,
+    },
+    "Intel Core i5 3470": {
+        "clock_ghz": 3.2,
+        "cores": 4,
+        "peak_gflops": 57.76,
+        "mem_bandwidth_gbps": 25.0,
+    },
+}
+
+
+def run(device: DeviceSpec = W8000,
+        cpu: CPUSpec = I5_3470) -> list[list[object]]:
+    """Rows: metric, GPU value, CPU value."""
+    return [
+        ["Processor main frequency (GHz)", device.clock_ghz, cpu.clock_ghz],
+        ["The number of cores", device.n_cores, cpu.n_cores],
+        ["Peak GFLOPS", device.peak_gflops, cpu.peak_gflops],
+        ["Memory bandwidth (GB/s)", device.mem_bandwidth_gbps,
+         cpu.mem_bandwidth_gbps],
+    ]
+
+
+def report(device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470) -> str:
+    rows = run(device, cpu)
+    return format_table(
+        ["", device.name, cpu.name], rows,
+        title="Table I — experimental hardware platform specifications",
+    )
+
+
+def matches_paper(device: DeviceSpec = W8000,
+                  cpu: CPUSpec = I5_3470) -> bool:
+    """True when the simulator is parameterized with the paper's Table I."""
+    gpu_ref = PAPER_TABLE1["AMD W8000"]
+    cpu_ref = PAPER_TABLE1["Intel Core i5 3470"]
+    return (
+        device.clock_ghz == gpu_ref["clock_ghz"]
+        and device.n_cores == gpu_ref["cores"]
+        and device.peak_gflops == gpu_ref["peak_gflops"]
+        and device.mem_bandwidth_gbps == gpu_ref["mem_bandwidth_gbps"]
+        and cpu.clock_ghz == cpu_ref["clock_ghz"]
+        and cpu.n_cores == cpu_ref["cores"]
+        and cpu.peak_gflops == cpu_ref["peak_gflops"]
+        and cpu.mem_bandwidth_gbps == cpu_ref["mem_bandwidth_gbps"]
+    )

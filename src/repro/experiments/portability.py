@@ -1,0 +1,100 @@
+"""Portability study: the paper's optimizations on other simulated devices.
+
+The paper targets one GPU.  This experiment re-runs the optimization ladder
+on two additional device models — an NVIDIA-like contemporary with 32-wide
+warps and a handheld-class GPU with unified memory — after re-tuning the
+flags with :func:`repro.core.portability.retune`, and recomputes the
+device-specific critical values the paper measured "in advance".
+
+Headline findings (asserted by the test suite):
+
+* the *techniques* transfer — fusion, GPU reduction and vectorization help
+  on every device;
+* the *constants* do not — the unrolled reduction is invalid on 32-wide
+  warps, and the border/transfer crossovers move with the link and device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import GPUPipeline, LADDER
+from ..core.portability import (
+    check_flags,
+    device_tuning_summary,
+    retune,
+)
+from ..simgpu.device import CPUSpec, DeviceSpec, EMBEDDED, I5_3470, W8000, \
+    WARP32
+from ..types import Image
+from ..util import images
+from ..util.tables import format_table
+
+#: Devices compared by the study.
+DEVICES: tuple[DeviceSpec, ...] = (W8000, WARP32, EMBEDDED)
+
+STUDY_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class PortabilityRow:
+    device: str
+    step: str
+    time: float
+    speedup_vs_base: float
+    retuned: bool
+    warnings: int
+
+
+def run(size: int = STUDY_SIZE, devices=DEVICES,
+        cpu: CPUSpec = I5_3470) -> list[PortabilityRow]:
+    image = Image.from_array(images.gradient(size, size))
+    rows: list[PortabilityRow] = []
+    for device in devices:
+        base_time = None
+        for step_name, flags in LADDER:
+            safe = retune(flags, device)
+            res = GPUPipeline(safe, device=device, cpu=cpu,
+                              mode="dryrun").run(image)
+            if base_time is None:
+                base_time = res.total_time
+            rows.append(PortabilityRow(
+                device=device.name,
+                step=step_name,
+                time=res.total_time,
+                speedup_vs_base=base_time / res.total_time,
+                retuned=safe != flags,
+                warnings=len(check_flags(flags, device)),
+            ))
+    return rows
+
+
+def report(rows: list[PortabilityRow]) -> str:
+    table = format_table(
+        ["device", "step", "time (ms)", "vs base", "retuned"],
+        [
+            [r.device, r.step, r.time * 1e3,
+             f"{r.speedup_vs_base:.2f}x", "yes" if r.retuned else ""]
+            for r in rows
+        ],
+        title=f"Portability — optimization ladder at "
+              f"{STUDY_SIZE}x{STUDY_SIZE} on three devices",
+    )
+    tuning_rows = []
+    for device in DEVICES:
+        t = device_tuning_summary(device)
+        tuning_rows.append([
+            device.name,
+            int(t["wavefront_size"]),
+            "valid" if t["unrolled_reduction_valid"] else "INVALID",
+            f"{int(t['border_crossover_side'])}^2",
+            f"{t['transfer_crossover_bytes'] / 2**20:.1f} MiB",
+        ])
+    tuning = format_table(
+        ["device", "wavefront", "unrolled reduction",
+         "border crossover", "map->rw crossover"],
+        tuning_rows,
+        title="Device-specific critical values (the paper's 'tested in "
+              "advance' numbers)",
+    )
+    return f"{table}\n\n{tuning}"

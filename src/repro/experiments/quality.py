@@ -1,0 +1,83 @@
+"""Output-quality study: what the sharpening actually does to images.
+
+The paper evaluates performance only; this study completes the picture with
+objective quality metrics (:mod:`repro.util.metrics`) over the synthetic
+workload family and the parameter presets, all through the simulated-GPU
+pipeline (whose output is bit-compatible with the CPU baseline).
+
+Shapes the test suite asserts:
+
+* edge gain increases with the ``gain`` parameter on every workload;
+* ``overshoot=0`` yields zero halo pixels at any gain;
+* fidelity (PSNR) decreases monotonically as sharpening strengthens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import OPTIMIZED, GPUPipeline
+from ..types import SharpnessParams
+from ..util.metrics import sharpness_report
+from ..util.tables import format_table
+from .runner import make_image
+
+from ..presets import PRESET_ORDER, PRESETS as _PRESETS
+
+#: Preset ladder from mild to aggressive (the shared CLI presets).
+PRESETS: tuple[tuple[str, SharpnessParams], ...] = tuple(
+    (name, _PRESETS[name]) for name in PRESET_ORDER
+)
+
+QUALITY_WORKLOADS = ("natural", "text", "checker", "blobs")
+STUDY_SIZE = 256
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    workload: str
+    preset: str
+    psnr: float
+    ssim: float
+    edge_gain: float
+    overshoot_fraction: float
+    rms_change: float
+
+
+def run(size: int = STUDY_SIZE, workloads=QUALITY_WORKLOADS,
+        presets=PRESETS) -> list[QualityRow]:
+    rows: list[QualityRow] = []
+    for workload in workloads:
+        image = make_image(size, workload)
+        for name, params in presets:
+            res = GPUPipeline(OPTIMIZED, params).run(image)
+            report = sharpness_report(image.plane, res.final)
+            rows.append(QualityRow(
+                workload=workload,
+                preset=name,
+                psnr=report["psnr"],
+                ssim=report["ssim"],
+                edge_gain=report["edge_gain"],
+                overshoot_fraction=report["overshoot_fraction"],
+                rms_change=report["rms_change"],
+            ))
+    return rows
+
+
+def report(rows: list[QualityRow]) -> str:
+    table = format_table(
+        ["workload", "preset", "PSNR (dB)", "SSIM", "edge gain",
+         "halo px", "RMS change"],
+        [
+            [r.workload, r.preset, r.psnr, f"{r.ssim:.4f}",
+             f"{r.edge_gain:.2f}x",
+             f"{100 * r.overshoot_fraction:.2f}%", r.rms_change]
+            for r in rows
+        ],
+        title="Quality study — presets x workloads (simulated-GPU output)",
+    )
+    return (
+        f"{table}\n"
+        "overshoot control in action: the ringing-free preset keeps the "
+        "halo column at\n0% even at the aggressive preset's gain."
+    )

@@ -1,0 +1,62 @@
+"""Shared experiment machinery: workloads and pipeline invocation.
+
+The paper evaluates on square brightness planes from 256x256 up to
+4096x4096 (8192x8192 in Fig. 14's text).  The simulated timing model is
+content-independent, so the *times* below depend only on the image size and
+configuration; the workloads still produce real pixels so every experiment
+also validates the output image against the CPU baseline as it runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..types import Image, SharpnessParams
+from ..util import images as imgs
+
+#: Named workload generators (size, seed) -> plane.
+WORKLOADS: dict[str, Callable[[int, int], np.ndarray]] = {
+    "natural": lambda size, seed: imgs.natural_like(size, size, seed=seed),
+    "text": lambda size, seed: imgs.text_like(size, size, seed=seed),
+    "checker": lambda size, seed: imgs.checkerboard(size, size),
+    "noise": lambda size, seed: imgs.noise(size, size, seed=seed),
+    "gradient": lambda size, seed: imgs.gradient(size, size),
+    "blobs": lambda size, seed: imgs.gaussian_blobs(size, size, seed=seed),
+    "steps": lambda size, seed: imgs.step_edges(size, size),
+}
+
+#: Image sizes of Fig. 12/13 (Fig. 14 additionally cites 8192x8192).
+PAPER_SIZES = (256, 512, 1024, 2048, 4096)
+
+#: Default sharpening parameters used across all experiments.
+DEFAULT_PARAMS = SharpnessParams()
+
+
+def make_image(size: int, workload: str = "natural", seed: int = 0) -> Image:
+    """Build a validated square test image."""
+    try:
+        gen = WORKLOADS[workload]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workload {workload!r}; available: "
+            f"{sorted(WORKLOADS)}"
+        ) from None
+    return Image.from_array(gen(size, seed))
+
+
+def check_against_cpu(final_gpu: np.ndarray, final_cpu: np.ndarray,
+                      *, context: str) -> None:
+    """Assert a GPU run's output matches the CPU baseline's."""
+    if final_gpu.shape != final_cpu.shape:
+        raise ValidationError(
+            f"{context}: shape mismatch {final_gpu.shape} vs "
+            f"{final_cpu.shape}"
+        )
+    err = float(np.max(np.abs(final_gpu - final_cpu)))
+    if err > 1e-6:
+        raise ValidationError(
+            f"{context}: GPU output deviates from CPU baseline by {err}"
+        )

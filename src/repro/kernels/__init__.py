@@ -1,0 +1,50 @@
+"""Device kernels of the sharpness pipeline.
+
+Each module defines the kernels of one pipeline stage as
+:class:`~repro.cl.kernel.KernelSpec` factories.  Every kernel has a
+*functional* face (whole-array NumPy, delegating to :mod:`repro.algo` so all
+configurations agree bit-for-bit), a *cost* face (launch characterization
+for the timing model) and — for the kernels whose device-side structure the
+paper optimizes — an *emulator* face written per-work-item in OpenCL style.
+
+Factories take the optimization knobs that change the kernel's code in the
+paper (``padded``, ``vector``, ``builtins``, reduction ``unroll`` level) and
+return the corresponding spec, exactly like recompiling a different kernel
+source.
+"""
+
+from .base import ceil_div, pick_local_size, pixel_kernel_cost
+from .downscale import make_downscale_spec
+from .perror import make_perror_spec
+from .reduction import (
+    REDUCTION_ELEMENTS_PER_THREAD,
+    REDUCTION_WG,
+    make_reduction_spec,
+    reduction_layout,
+)
+from .sharpness import (
+    make_overshoot_spec,
+    make_prelim_spec,
+    make_sharpness_fused_spec,
+)
+from .sobel import make_sobel_spec
+from .upscale_border import make_upscale_border_spec
+from .upscale_center import make_upscale_center_spec
+
+__all__ = [
+    "ceil_div",
+    "pick_local_size",
+    "pixel_kernel_cost",
+    "make_downscale_spec",
+    "make_perror_spec",
+    "REDUCTION_ELEMENTS_PER_THREAD",
+    "REDUCTION_WG",
+    "make_reduction_spec",
+    "reduction_layout",
+    "make_overshoot_spec",
+    "make_prelim_spec",
+    "make_sharpness_fused_spec",
+    "make_sobel_spec",
+    "make_upscale_border_spec",
+    "make_upscale_center_spec",
+]

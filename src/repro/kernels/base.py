@@ -1,0 +1,123 @@
+"""Shared helpers for kernel specifications.
+
+``pixel_kernel_cost`` converts a per-work-item work characterization into
+the launch-level :class:`~repro.simgpu.costmodel.KernelCost` the timing
+model consumes; ``pick_local_size`` chooses a legal workgroup shape for an
+NDRange the way the paper's host code would (largest square tile that
+divides the grid, capped by the device limit).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidWorkGroupError
+from ..simgpu.costmodel import KernelCost
+from ..simgpu.device import DeviceSpec
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for grid sizing."""
+    if b <= 0:
+        raise InvalidWorkGroupError(f"divisor must be > 0, got {b}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to a multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def pick_local_size(global_size: tuple[int, ...], device: DeviceSpec,
+                    preferred: int = 16) -> tuple[int, ...]:
+    """Choose a workgroup shape that divides ``global_size``.
+
+    For each dimension the largest power-of-two divisor up to ``preferred``
+    is used, additionally capped so the workgroup does not exceed the
+    device's limit.  1-D ranges prefer a full wavefront multiple.
+    """
+    if not global_size:
+        raise InvalidWorkGroupError("empty global size")
+    if len(global_size) == 1:
+        g = global_size[0]
+        limit = min(device.max_workgroup_size, 4 * device.wavefront_size)
+        size = limit
+        while size > 1 and g % size:
+            size //= 2
+        return (size,)
+    local: list[int] = []
+    budget = device.max_workgroup_size
+    for g in global_size:
+        size = preferred
+        while size > 1 and (g % size or size > budget):
+            size //= 2
+        local.append(size)
+        budget = max(budget // size, 1)
+    return tuple(local)
+
+
+def n_groups_of(global_size: tuple[int, ...],
+                local_size: tuple[int, ...]) -> int:
+    groups = 1
+    for g, l in zip(global_size, local_size):
+        if g % l:
+            raise InvalidWorkGroupError(
+                f"global size {g} not divisible by local size {l}"
+            )
+        groups *= g // l
+    return groups
+
+
+def pixel_kernel_cost(
+    device: DeviceSpec,
+    global_size: tuple[int, ...],
+    local_size: tuple[int, ...],
+    *,
+    label: str,
+    flops_per_item: float,
+    read_bytes_per_item: float,
+    write_bytes_per_item: float,
+    heavy_per_item: float = 0.0,
+    int_ops_per_item: float = 4.0,
+    local_bytes_per_item: float = 0.0,
+    barriers_per_group: float = 0.0,
+    divergent: bool = False,
+    uses_builtins: bool = False,
+) -> KernelCost:
+    """Launch cost of a kernel doing uniform per-item work.
+
+    ``int_ops_per_item`` defaults to 4: the index arithmetic
+    (divide/modulo/multiply for 2-D addressing) that the paper's
+    "instruction selection" optimization replaces with shifts and masks —
+    when ``uses_builtins`` is set the device charges these at the fast rate.
+    """
+    items = math.prod(global_size)
+    wg = math.prod(local_size)
+    return KernelCost(
+        work_items=items,
+        flops=flops_per_item * items,
+        heavy_ops=heavy_per_item * items,
+        slow_int_ops=int_ops_per_item * items,
+        global_bytes_read=read_bytes_per_item * items,
+        global_bytes_written=write_bytes_per_item * items,
+        local_bytes=local_bytes_per_item * items,
+        barriers_per_group=barriers_per_group,
+        n_groups=n_groups_of(global_size, local_size),
+        workgroup_size=wg,
+        divergent=divergent,
+        uses_builtins=uses_builtins,
+        label=label,
+    )
+
+
+#: Bytes per element of the 8-bit image buffers.
+U8 = 1
+#: Effective bytes charged per *unaligned, per-item* byte load: single
+#: uchar reads at neighbour offsets occupy a full 4-byte memory transaction
+#: on GCN.  Scalar stencil kernels (Sobel, overshoot, fused sharpness) pay
+#: this; the vectorized variants amortize it with aligned ``vload4`` reads
+#: shared across four outputs, which is the mechanism behind the
+#: "Vectorization for Data Locality" gains of section V.D.
+U8_SCATTERED = 4
+#: Bytes per element of float intermediate buffers (device float).
+F32 = 4

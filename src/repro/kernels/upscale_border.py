@@ -1,0 +1,138 @@
+"""Upscale-border kernel (Fig. 3) — the branchy stage of section V.E.
+
+The paper describes this stage as "lots of conditional statements, which are
+inefficient to be processed on GPU and also affects the degree of
+parallelism", and finds the CPU faster below 768x768 with the GPU winning
+above.  Both properties follow from the natural naive port the paper
+implies: **one work-item per border line pair**, each looping serially over
+its whole line with data-dependent branches (interpolate / copy / duplicate).
+
+* item 0 — top pair: computes the upscaled first border line and writes it
+  to rows 0 and 1, columns ``[2, w-2)`` (the four border columns belong to
+  the column items, so concurrent items never write conflicting values);
+* item 1 — bottom pair: rows ``h-2`` and ``h-1``;
+* item 2 — left pair: columns 0 and 1, all rows;
+* item 3 — right pair: columns ``w-2`` and ``w-1``, all rows.
+
+The launch is four work-items: its time is dominated by the dependent
+per-element global accesses of the serial loops (``serial_latency_s`` in the
+cost model), which grows linearly in the image side — while the CPU
+alternative pays the PCI-E round-trip of the downscaled matrix and the
+upscaled buffer, which grows quadratically.  The two curves cross near
+768x768, reproducing Fig. 17.
+"""
+
+from __future__ import annotations
+
+from .. import algo
+from ..algo.stages import BORDER_WEIGHTS
+from ..cl.kernel import KernelSpec
+from ..simgpu.costmodel import KernelCost
+from ..simgpu.device import DeviceSpec
+from ..types import SCALE
+
+
+def border_line_value(down_line, pos: int, out_len: int) -> float:
+    """Value of one position of an upscaled border line (shared rule).
+
+    ``down_line`` only needs ``__getitem__``; this is used both by the
+    emulator kernel (on checked device memory) and by tests.
+    """
+    n = out_len // SCALE
+    if pos >= out_len - 3:
+        return float(down_line[n - 1])
+    c, k = pos // SCALE, pos % SCALE
+    if k == 0:
+        return float(down_line[c])
+    wl, wr = BORDER_WEIGHTS[k]
+    return float(wl * down_line[c] + wr * down_line[c + 1])
+
+
+class _Line:
+    """Adapter exposing one row/column of a 2-D checked array as a line."""
+
+    __slots__ = ("_arr", "_index", "_axis")
+
+    def __init__(self, arr, index: int, axis: int) -> None:
+        self._arr = arr
+        self._index = index
+        self._axis = axis
+
+    def __getitem__(self, i: int) -> float:
+        if self._axis == 0:
+            return self._arr[self._index, i]
+        return self._arr[i, self._index]
+
+
+def _functional(global_size, local_size, down, up, h, w):
+    algo.upscale_border_apply(up, down)
+
+
+def _emulator(ctx, down, up, h, w):
+    gid = ctx.get_global_id(0)
+    nr, nc = h // SCALE, w // SCALE
+    if gid == 0:  # top pair: rows 0 and 1
+        line = _Line(down, 0, 0)
+        for j in range(2, w - 2):
+            v = border_line_value(line, j, w)
+            up[0, j] = v
+            up[1, j] = v
+    elif gid == 1:  # bottom pair: rows h-2 and h-1
+        line = _Line(down, nr - 1, 0)
+        for j in range(2, w - 2):
+            v = border_line_value(line, j, w)
+            up[h - 2, j] = v
+            up[h - 1, j] = v
+    elif gid == 2:  # left pair: columns 0 and 1
+        line = _Line(down, 0, 1)
+        for i in range(h):
+            v = border_line_value(line, i, h)
+            up[i, 0] = v
+            up[i, 1] = v
+    elif gid == 3:  # right pair: columns w-2 and w-1
+        line = _Line(down, nc - 1, 1)
+        for i in range(h):
+            v = border_line_value(line, i, h)
+            up[i, w - 2] = v
+            up[i, w - 1] = v
+    # items beyond 3 (grid padding) do nothing
+
+
+def make_upscale_border_spec(*, builtins: bool = False) -> KernelSpec:
+    """Build the border kernel spec; args are ``(down, up, h, w)``."""
+
+    def cost(device: DeviceSpec, global_size, local_size,
+             args) -> KernelCost:
+        h, w = int(args[2]), int(args[3])
+        # Four serial loops run concurrently (one item each); the row pair
+        # walks w elements, the column pair walks h.  Every element is a
+        # dependent load -> blend -> scattered store chain, so the launch
+        # is latency-bound on the longest line.
+        serial = max(h, w) * device.mem_latency_s
+        n_border = 2 * (h + w)
+        return KernelCost(
+            work_items=max(int(global_size[0]), 1),
+            flops=6.0 * n_border,
+            slow_int_ops=10.0 * n_border,
+            global_bytes_read=2.0 * 4.0 * n_border,
+            global_bytes_written=2.0 * 4.0 * n_border,
+            n_groups=1,
+            workgroup_size=int(local_size[0]),
+            divergent=True,
+            uses_builtins=builtins,
+            serial_latency_s=serial,
+            label="upscale_border",
+        )
+
+    return KernelSpec(
+        name="upscale_border",
+        functional=_functional,
+        emulator=_emulator,
+        cost=cost,
+        arg_names=("down", "up", "h", "w"),
+    )
+
+
+#: NDRange of the border kernel: one item per line pair.
+BORDER_GLOBAL = (4,)
+BORDER_LOCAL = (4,)

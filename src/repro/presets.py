@@ -1,0 +1,26 @@
+"""Named sharpening-parameter presets.
+
+One shared ladder from mild to aggressive, used by the CLI
+(``python -m repro sharpen --preset ...``), the quality study and the
+examples.  ``ringing-free`` demonstrates the overshoot control of Fig. 8:
+the same gain as ``aggressive`` but with the halo clamp fully engaged.
+"""
+
+from __future__ import annotations
+
+from .types import SharpnessParams
+
+PRESETS: dict[str, SharpnessParams] = {
+    "mild": SharpnessParams(gain=0.6, gamma=0.7, strength_max=2.0,
+                            overshoot=0.1),
+    "default": SharpnessParams(),
+    "crisp": SharpnessParams(gain=1.8, gamma=0.5, strength_max=4.0,
+                             overshoot=0.2),
+    "aggressive": SharpnessParams(gain=3.0, gamma=0.4, strength_max=8.0,
+                                  overshoot=0.6),
+    "ringing-free": SharpnessParams(gain=3.0, gamma=0.4, strength_max=8.0,
+                                    overshoot=0.0),
+}
+
+#: Presets in mild-to-aggressive order (for reports).
+PRESET_ORDER = ("mild", "default", "crisp", "aggressive", "ringing-free")

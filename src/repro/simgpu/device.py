@@ -1,0 +1,270 @@
+"""Device specifications for the simulated platform.
+
+The headline numbers (clock, core count, peak GFLOPS, memory bandwidth) come
+straight from Table I of the paper.  The microarchitectural and overhead
+constants are documented calibration choices: they are set to publicly-known
+values for GCN-era AMD GPUs / Ivy Bridge CPUs where available, and otherwise
+tuned (see EXPERIMENTS.md, "Calibration") so the reproduced figures match the
+paper's *shapes* — the absolute times produced by the model are simulated,
+not measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ValidationError
+from .pcie import PCIeSpec
+
+GIGA = 1.0e9
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A simulated OpenCL GPU device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (for reports).
+    n_compute_units:
+        Number of compute units (GCN CUs).  ``cores = n_compute_units *
+        wavefront_size`` matches the paper's "number of cores".
+    wavefront_size:
+        Work-items executed in lock-step (64 on GCN).
+    clock_ghz:
+        Core clock in GHz (Table I: 0.88 for the W8000).
+    peak_gflops:
+        Peak single-precision GFLOPS (Table I: 3230 for the W8000).
+    mem_bandwidth_gbps:
+        Peak global-memory bandwidth in GB/s (Table I: 176).
+    lds_bandwidth_gbps:
+        Aggregate local-data-share bandwidth in GB/s.
+    local_mem_per_cu:
+        Local memory per compute unit in bytes (64 KiB on GCN).
+    max_workgroup_size:
+        Maximum work-items per workgroup (256 on GCN).
+    compute_efficiency / mem_efficiency:
+        Achievable fraction of peak for real kernels (calibrated).
+    mem_latency_s:
+        Latency of one dependent global-memory access (used by
+        latency-bound kernels such as the naive border port, whose serial
+        per-line loops the throughput roofline cannot see).
+    launch_overhead_s:
+        Host-side cost of enqueuing + dispatching one kernel.
+    sync_overhead_s:
+        Extra cost of a ``clFinish`` host synchronization.
+    barrier_wavefront_s:
+        Cost of one workgroup barrier per resident wavefront.
+    heavy_op_flops:
+        FLOP-equivalents charged per transcendental (pow/exp) op.
+    builtin_heavy_op_flops:
+        Same, when the kernel uses native built-in functions (``native_powr``
+        etc.) — the "Build-in Function" optimization of section V.F.
+    divergent_branch_penalty:
+        Multiplier applied to compute time of kernels flagged as
+        branch-divergent (border handling without padding, overshoot
+        without padding, ...).
+    slow_int_op_flops / fast_int_op_flops:
+        FLOP-equivalents for integer divide/modulo before and after the
+        "instruction selection" optimization (shift/bitwise-and).
+    pcie:
+        The PCI-E link model used for host<->device transfers.
+    """
+
+    name: str
+    n_compute_units: int
+    wavefront_size: int
+    clock_ghz: float
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    lds_bandwidth_gbps: float
+    mem_latency_s: float
+    local_mem_per_cu: int
+    max_workgroup_size: int
+    compute_efficiency: float
+    mem_efficiency: float
+    launch_overhead_s: float
+    sync_overhead_s: float
+    barrier_wavefront_s: float
+    heavy_op_flops: float
+    builtin_heavy_op_flops: float
+    divergent_branch_penalty: float
+    slow_int_op_flops: float
+    fast_int_op_flops: float
+    pcie: PCIeSpec = field(default_factory=PCIeSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_compute_units <= 0:
+            raise ValidationError("n_compute_units must be > 0")
+        if self.wavefront_size <= 0 or (
+            self.wavefront_size & (self.wavefront_size - 1)
+        ):
+            raise ValidationError(
+                f"wavefront_size must be a power of two, got "
+                f"{self.wavefront_size}"
+            )
+        if self.max_workgroup_size % self.wavefront_size:
+            raise ValidationError(
+                "max_workgroup_size must be a multiple of wavefront_size"
+            )
+        for attr in ("compute_efficiency", "mem_efficiency"):
+            v = getattr(self, attr)
+            if not 0.0 < v <= 1.0:
+                raise ValidationError(f"{attr} must lie in (0, 1], got {v}")
+
+    @property
+    def n_cores(self) -> int:
+        """Paper-style "number of cores" = CUs x wavefront lanes."""
+        return self.n_compute_units * self.wavefront_size
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        return self.mem_bandwidth_gbps * GIGA * self.mem_efficiency
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with some fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The CPU of Table I, modelled with the same roofline methodology.
+
+    The paper's baseline is a carefully optimized (``-O3``) C implementation;
+    ``efficiency`` expresses how much of the 4-core SIMD peak such scalar-ish
+    compiled image code typically achieves (calibrated — see EXPERIMENTS.md).
+    """
+
+    name: str
+    n_cores: int
+    clock_ghz: float
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    efficiency: float
+    mem_efficiency: float
+    heavy_op_flops: float
+    branch_penalty: float
+    slow_int_op_flops: float
+    fast_int_op_flops: float
+
+    @property
+    def effective_gflops(self) -> float:
+        return self.peak_gflops * self.efficiency
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        return self.mem_bandwidth_gbps * GIGA * self.mem_efficiency
+
+    def with_(self, **kwargs) -> "CPUSpec":
+        return replace(self, **kwargs)
+
+
+#: AMD FirePro W8000 (Table I row 1).  1792 cores = 28 CUs x 64 lanes;
+#: 0.88 GHz; 3.23 TFLOPS SP; 176 GB/s.  Overheads calibrated per
+#: EXPERIMENTS.md.
+W8000 = DeviceSpec(
+    name="AMD FirePro W8000 (simulated)",
+    n_compute_units=28,
+    wavefront_size=64,
+    clock_ghz=0.88,
+    peak_gflops=3230.0,
+    mem_bandwidth_gbps=176.0,
+    lds_bandwidth_gbps=1400.0,
+    mem_latency_s=850.0e-9,
+    local_mem_per_cu=64 * 1024,
+    max_workgroup_size=256,
+    compute_efficiency=0.60,
+    mem_efficiency=0.45,
+    launch_overhead_s=22.0e-6,
+    sync_overhead_s=16.0e-6,
+    barrier_wavefront_s=60.0e-9,
+    heavy_op_flops=16.0,
+    builtin_heavy_op_flops=6.0,
+    divergent_branch_penalty=2.0,
+    slow_int_op_flops=16.0,
+    fast_int_op_flops=1.0,
+    pcie=PCIeSpec(),
+)
+
+#: Intel Core i5-3470 (Table I row 2).  4 cores at 3.2 GHz; 57.76 GFLOPS;
+#: 25 GB/s.  The compiled baseline achieves a modest fraction of SIMD peak
+#: (calibrated so the paper's CPU-vs-GPU speedup range is reproduced).
+I5_3470 = CPUSpec(
+    name="Intel Core i5-3470",
+    n_cores=4,
+    clock_ghz=3.2,
+    peak_gflops=57.76,
+    mem_bandwidth_gbps=25.0,
+    efficiency=0.030,
+    mem_efficiency=0.60,
+    heavy_op_flops=40.0,
+    branch_penalty=1.6,
+    slow_int_op_flops=20.0,
+    fast_int_op_flops=1.0,
+)
+
+
+#: An NVIDIA-Kepler-like contemporary of the W8000 (GTX-680 class):
+#: 32-wide warps, 8 SMX "compute units", similar peak FLOPS and bandwidth.
+#: Used by the portability experiments — note the unrolled reduction
+#: kernels are *invalid* on a 32-wide device (they hardcode 64-lane
+#: lock-step).
+WARP32 = DeviceSpec(
+    name="Warp-32 contemporary (simulated)",
+    n_compute_units=48,
+    wavefront_size=32,
+    clock_ghz=1.006,
+    peak_gflops=3090.0,
+    mem_bandwidth_gbps=192.0,
+    lds_bandwidth_gbps=1300.0,
+    mem_latency_s=800.0e-9,
+    local_mem_per_cu=48 * 1024,
+    max_workgroup_size=256,
+    compute_efficiency=0.60,
+    mem_efficiency=0.45,
+    launch_overhead_s=18.0e-6,
+    sync_overhead_s=14.0e-6,
+    barrier_wavefront_s=60.0e-9,
+    heavy_op_flops=16.0,
+    builtin_heavy_op_flops=6.0,
+    divergent_branch_penalty=2.0,
+    slow_int_op_flops=16.0,
+    fast_int_op_flops=1.0,
+    pcie=PCIeSpec(),
+)
+
+#: A handheld-class GPU in the spirit of Singhal et al. (the paper's
+#: reference [17]): few wide-SIMD cores, unified memory (cheap host<->device
+#: moves, low bandwidth).  Used to ask how the paper's optimizations
+#: transfer to embedded silicon.
+EMBEDDED = DeviceSpec(
+    name="Handheld-class GPU (simulated)",
+    n_compute_units=4,
+    wavefront_size=64,
+    clock_ghz=0.45,
+    peak_gflops=115.0,
+    mem_bandwidth_gbps=12.8,
+    lds_bandwidth_gbps=100.0,
+    mem_latency_s=1200.0e-9,
+    local_mem_per_cu=32 * 1024,
+    max_workgroup_size=256,
+    compute_efficiency=0.55,
+    mem_efficiency=0.50,
+    launch_overhead_s=60.0e-6,
+    sync_overhead_s=30.0e-6,
+    barrier_wavefront_s=120.0e-9,
+    heavy_op_flops=24.0,
+    builtin_heavy_op_flops=8.0,
+    divergent_branch_penalty=2.5,
+    slow_int_op_flops=20.0,
+    fast_int_op_flops=1.0,
+    # Unified memory: no discrete PCI-E link; copies are cheap but the
+    # shared LPDDR is slow.
+    pcie=PCIeSpec(bandwidth_gbps=6.0, rw_call_overhead_s=15.0e-6,
+                  map_bandwidth_gbps=6.4, map_call_overhead_s=2.0e-6),
+)

@@ -1,0 +1,328 @@
+"""Per-work-item functional emulator for simulated OpenCL kernels.
+
+Kernels are written as Python *generator functions* in an OpenCL-C style::
+
+    def reduce_kernel(ctx, src, partial, local_sum):
+        lid = ctx.get_local_id(0)
+        local_sum[lid] = src[ctx.get_global_id(0)]
+        yield BARRIER                      # barrier(CLK_LOCAL_MEM_FENCE)
+        ...
+        yield WF_SYNC                      # wavefront lock-step boundary
+
+Two synchronization primitives are modelled:
+
+``BARRIER``
+    A workgroup-wide barrier.  Every work-item of the group must reach it
+    (reaching the end of the kernel instead is a
+    :class:`~repro.errors.BarrierDivergenceError`, as on real hardware).
+
+``WF_SYNC``
+    A wavefront lock-step boundary.  On GCN hardware the 64 lanes of a
+    wavefront execute each instruction together, which is what makes the
+    paper's *unrolled last wavefront* reduction (Algorithm 1/2) correct
+    without barriers.  A Python emulator cannot interleave per instruction,
+    so kernels mark the points where they rely on lock-step with
+    ``yield WF_SYNC``; the emulator synchronizes the items of each wavefront
+    there.  Crucially, WF_SYNC does **not** synchronize across wavefronts —
+    running the unrolled kernel on a device with a smaller wavefront than the
+    kernel assumes produces wrong results, exactly like real hardware (the
+    test suite demonstrates this).
+
+Execution order is deterministic: workgroups run one after another, and
+within a wavefront items advance in local-id order between sync points.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import (
+    BarrierDivergenceError,
+    DeviceFault,
+    InvalidWorkGroupError,
+)
+from .device import DeviceSpec
+from .memory import CheckedArray, LocalMemory
+from .racecheck import RaceTracker, TrackedArray
+
+#: Yield this to synchronize the whole workgroup.
+BARRIER = "barrier"
+#: Yield this to mark a wavefront lock-step boundary.
+WF_SYNC = "wf_sync"
+
+_RUNNING = 0
+_AT_BARRIER = 1
+_AT_WFSYNC = 2
+_DONE = 3
+
+
+@dataclass(frozen=True)
+class WorkItemCtx:
+    """Identity of one work-item, mirroring the OpenCL work-item functions.
+
+    Dimension 0 is x (fastest-varying / column), dimension 1 is y (row),
+    exactly as in OpenCL C.
+    """
+
+    global_id: tuple[int, ...]
+    local_id: tuple[int, ...]
+    group_id: tuple[int, ...]
+    local_size: tuple[int, ...]
+    global_size: tuple[int, ...]
+
+    def get_global_id(self, dim: int) -> int:
+        return self.global_id[dim]
+
+    def get_local_id(self, dim: int) -> int:
+        return self.local_id[dim]
+
+    def get_group_id(self, dim: int) -> int:
+        return self.group_id[dim]
+
+    def get_local_size(self, dim: int) -> int:
+        return self.local_size[dim]
+
+    def get_global_size(self, dim: int) -> int:
+        return self.global_size[dim]
+
+    def get_num_groups(self, dim: int) -> int:
+        return self.global_size[dim] // self.local_size[dim]
+
+    @property
+    def local_linear_id(self) -> int:
+        """OpenCL ``get_local_linear_id()``: lid0 + lid1*ls0 + lid2*ls0*ls1."""
+        lin = 0
+        stride = 1
+        for lid, ls in zip(self.local_id, self.local_size):
+            lin += lid * stride
+            stride *= ls
+        return lin
+
+    def wavefront(self, wavefront_size: int) -> int:
+        return self.local_linear_id // wavefront_size
+
+
+@dataclass
+class EmulatedKernelLaunch:
+    """Statistics collected while emulating one kernel launch."""
+
+    n_groups: int = 0
+    n_work_items: int = 0
+    barrier_releases: int = 0
+    wf_sync_releases: int = 0
+    local_mem_bytes: int = 0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def _validate_ndrange(
+    global_size: tuple[int, ...], local_size: tuple[int, ...],
+    device: DeviceSpec,
+) -> tuple[int, ...]:
+    if len(global_size) != len(local_size):
+        raise InvalidWorkGroupError(
+            f"global_size rank {len(global_size)} != local_size rank "
+            f"{len(local_size)}"
+        )
+    if not 1 <= len(global_size) <= 3:
+        raise InvalidWorkGroupError(
+            f"NDRange rank must be 1..3, got {len(global_size)}"
+        )
+    groups = []
+    wg_items = 1
+    for g, l in zip(global_size, local_size):
+        if g <= 0 or l <= 0:
+            raise InvalidWorkGroupError(
+                f"sizes must be positive, got global={global_size} "
+                f"local={local_size}"
+            )
+        if g % l:
+            raise InvalidWorkGroupError(
+                f"global size {g} not divisible by local size {l}"
+            )
+        groups.append(g // l)
+        wg_items *= l
+    if wg_items > device.max_workgroup_size:
+        raise InvalidWorkGroupError(
+            f"workgroup of {wg_items} items exceeds device limit "
+            f"{device.max_workgroup_size}"
+        )
+    return tuple(groups)
+
+
+class _Item:
+    __slots__ = ("ctx", "gen", "status", "wavefront")
+
+    def __init__(self, ctx: WorkItemCtx, gen, wavefront: int) -> None:
+        self.ctx = ctx
+        self.gen = gen
+        self.status = _RUNNING if gen is not None else _DONE
+        self.wavefront = wavefront
+
+    def advance(self) -> None:
+        """Run until the next yield or the end of the kernel."""
+        try:
+            marker = next(self.gen)
+        except StopIteration:
+            self.status = _DONE
+            return
+        if marker == BARRIER:
+            self.status = _AT_BARRIER
+        elif marker == WF_SYNC:
+            self.status = _AT_WFSYNC
+        else:
+            raise DeviceFault(
+                f"kernel yielded unknown sync marker {marker!r}"
+            )
+
+
+def _run_group(items: list[_Item], stats: EmulatedKernelLaunch,
+               tracker: RaceTracker | None = None) -> None:
+    """Execute one workgroup to completion."""
+    wavefronts: dict[int, list[_Item]] = {}
+    for item in items:
+        wavefronts.setdefault(item.wavefront, []).append(item)
+    wf_order = sorted(wavefronts)
+    item_ids = {id(item): i for i, item in enumerate(items)}
+
+    def advance(item: _Item) -> None:
+        if tracker is not None:
+            tracker.current_item = item_ids[id(item)]
+        item.advance()
+
+    while True:
+        # Advance every wavefront until it is finished or parked at a
+        # workgroup barrier.
+        for wf in wf_order:
+            group = wavefronts[wf]
+            while True:
+                for item in group:
+                    if item.status == _RUNNING:
+                        advance(item)
+                statuses = {item.status for item in group}
+                if statuses <= {_DONE}:
+                    break
+                if statuses <= {_AT_BARRIER, _DONE}:
+                    if _DONE in statuses and _AT_BARRIER in statuses:
+                        raise BarrierDivergenceError(
+                            "work-items of one wavefront diverged: some "
+                            "finished while others wait at a barrier"
+                        )
+                    break
+                if statuses <= {_AT_WFSYNC, _DONE}:
+                    # Wavefront-internal sync point: release and continue.
+                    stats.wf_sync_releases += 1
+                    if tracker is not None:
+                        tracker.bump()
+                    for item in group:
+                        if item.status == _AT_WFSYNC:
+                            item.status = _RUNNING
+                    continue
+                raise BarrierDivergenceError(
+                    "work-items of one wavefront reached different "
+                    "synchronization points (barrier vs wavefront sync)"
+                )
+
+        statuses = {item.status for item in items}
+        if statuses == {_DONE}:
+            return
+        if _DONE in statuses:
+            raise BarrierDivergenceError(
+                "workgroup diverged: some work-items finished while "
+                "others wait at a barrier"
+            )
+        # Everyone is at the barrier: release the whole group.
+        stats.barrier_releases += 1
+        if tracker is not None:
+            tracker.bump()
+        for item in items:
+            item.status = _RUNNING
+
+
+def run_kernel(
+    kernel_fn: Callable[..., Any],
+    global_size: tuple[int, ...],
+    local_size: tuple[int, ...],
+    args: tuple[Any, ...] = (),
+    *,
+    device: DeviceSpec,
+    local_mem: dict[str, int] | None = None,
+    local_itemsize: int = 4,
+    race_check: bool = False,
+) -> EmulatedKernelLaunch:
+    """Emulate ``kernel_fn`` over the given NDRange on ``device``.
+
+    ``local_mem`` maps local-buffer argument names to element counts; one
+    fresh :class:`~repro.simgpu.memory.LocalMemory` per buffer is allocated
+    for every workgroup and appended to ``args`` in declaration order
+    (matching how OpenCL passes ``__local`` pointers as kernel arguments).
+
+    With ``race_check=True`` every buffer/local-memory argument is wrapped
+    in a :class:`~repro.simgpu.racecheck.TrackedArray` and same-epoch
+    conflicting accesses by different work-items raise
+    :class:`~repro.errors.RaceConditionError` (see
+    :mod:`repro.simgpu.racecheck` for the epoch model and its limits).
+    """
+    groups = _validate_ndrange(tuple(global_size), tuple(local_size), device)
+    stats = EmulatedKernelLaunch(
+        n_groups=int(np.prod(groups)),
+        n_work_items=int(np.prod(global_size)),
+    )
+    local_mem = local_mem or {}
+
+    for group_id in np.ndindex(*groups[::-1]):
+        group_id = tuple(int(g) for g in group_id[::-1])  # dim-0-fastest
+        tracker = RaceTracker() if race_check else None
+        group_args = args
+        if tracker is not None:
+            group_args = tuple(
+                TrackedArray(a, getattr(a, "_name", f"arg{i}"), tracker)
+                if isinstance(a, CheckedArray) else a
+                for i, a in enumerate(args)
+            )
+        locals_for_group = []
+        lm_bytes = 0
+        for name, n_elements in local_mem.items():
+            lm = LocalMemory(
+                n_elements,
+                capacity_bytes=device.local_mem_per_cu,
+                itemsize=local_itemsize,
+                name=name,
+            )
+            lm_bytes += lm.nbytes
+            if tracker is not None:
+                lm = TrackedArray(lm, name, tracker)
+            locals_for_group.append(lm)
+        if lm_bytes > device.local_mem_per_cu:
+            raise InvalidWorkGroupError(
+                f"workgroup requests {lm_bytes} bytes of local memory, "
+                f"device CU has {device.local_mem_per_cu}"
+            )
+        stats.local_mem_bytes = max(stats.local_mem_bytes, lm_bytes)
+
+        items: list[_Item] = []
+        for local_idx in np.ndindex(*tuple(local_size)[::-1]):
+            lid = tuple(int(i) for i in local_idx[::-1])
+            gid = tuple(
+                g * l + i for g, l, i in zip(group_id, local_size, lid)
+            )
+            ctx = WorkItemCtx(
+                global_id=gid,
+                local_id=lid,
+                group_id=group_id,
+                local_size=tuple(local_size),
+                global_size=tuple(global_size),
+            )
+            if tracker is not None:
+                # Plain-function kernels run their whole body right here;
+                # generator kernels only run when advanced, at which point
+                # _run_group re-sets the current item.
+                tracker.current_item = len(items)
+            result = kernel_fn(ctx, *group_args, *locals_for_group)
+            gen = result if inspect.isgenerator(result) else None
+            items.append(_Item(ctx, gen, ctx.wavefront(device.wavefront_size)))
+        _run_group(items, stats, tracker)
+    return stats

@@ -1,0 +1,115 @@
+"""PCI-E host<->device transfer model.
+
+Section V.A of the paper contrasts two OpenCL transfer modes:
+
+* **read/write** (``clEnqueueReadBuffer`` / ``clEnqueueWriteBuffer``): one
+  explicit bulk copy per call.  Each call pays a fixed driver/validation
+  overhead but then streams at full link efficiency.
+* **map/unmap** (``clEnqueueMapBuffer`` / ``clEnqueueUnmapMemObject``): data
+  moves on demand as it is accessed.  There is no per-call setup cost, but
+  the on-demand streaming achieves a slightly lower effective bandwidth.
+
+These two cost curves cross: map/unmap wins for small images, read/write for
+large — exactly the behaviour the paper reports in the Fig. 14 discussion
+("the map/unmap mode is effective with small data size").  The crossover
+point of the default constants sits at ``rw_call_overhead_s /
+(1/map_bw - 1/rw_bw)`` bytes ~ 8 MiB, i.e. between the 2048^2 and 4096^2
+test images, matching the paper's observation that the read/write switch
+only pays off at 4096^2.
+
+``clEnqueueWriteBufferRect`` (used to pad the original matrix during the
+transfer itself) is modelled as a strided row-by-row copy: full bandwidth
+plus a small per-row cost.  The alternative — padding on the CPU then doing
+a bulk write — pays a host-side memcpy at CPU memory bandwidth instead,
+which is more expensive for realistic row counts, matching section V.A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+GIGA = 1.0e9
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """PCI-E 3.0 x16-era link model (defaults calibrated per EXPERIMENTS.md).
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Effective bulk-copy bandwidth of read/write calls.
+    rw_call_overhead_s:
+        Fixed per-call cost of an explicit read/write (driver entry,
+        validation, DMA setup).
+    map_bandwidth_gbps:
+        Effective bandwidth of on-demand mapped access.
+    map_call_overhead_s:
+        Cost of establishing/releasing a mapping (pointer bookkeeping only).
+    rect_row_overhead_s:
+        Extra per-row cost of a strided ``WriteBufferRect`` copy.
+    """
+
+    bandwidth_gbps: float = 4.0
+    rw_call_overhead_s: float = 50.0e-6
+    map_bandwidth_gbps: float = 3.9
+    map_call_overhead_s: float = 4.0e-6
+    rect_row_overhead_s: float = 120.0e-9
+
+    def __post_init__(self) -> None:
+        for attr in ("bandwidth_gbps", "map_bandwidth_gbps"):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"{attr} must be > 0")
+
+    # -- read/write ---------------------------------------------------------
+
+    def rw_time(self, nbytes: int) -> float:
+        """Time of one explicit read or write of ``nbytes``."""
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return self.rw_call_overhead_s
+        return self.rw_call_overhead_s + nbytes / (self.bandwidth_gbps * GIGA)
+
+    # -- map/unmap ----------------------------------------------------------
+
+    def map_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` through a mapped region (map+access+unmap).
+
+        The map/unmap calls themselves are cheap; the data streams on demand
+        at the reduced mapped bandwidth.
+        """
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
+        return (
+            2.0 * self.map_call_overhead_s
+            + nbytes / (self.map_bandwidth_gbps * GIGA)
+        )
+
+    # -- WriteBufferRect ----------------------------------------------------
+
+    def rect_time(self, nbytes: int, n_rows: int) -> float:
+        """Time of a strided rect write of ``nbytes`` spread over ``n_rows``."""
+        if nbytes < 0 or n_rows <= 0:
+            raise ValidationError(
+                f"invalid rect transfer: nbytes={nbytes}, n_rows={n_rows}"
+            )
+        return (
+            self.rw_call_overhead_s
+            + n_rows * self.rect_row_overhead_s
+            + nbytes / (self.bandwidth_gbps * GIGA)
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def crossover_bytes(self) -> float:
+        """Buffer size above which read/write beats map/unmap."""
+        per_byte_gain = 1.0 / (self.map_bandwidth_gbps * GIGA) - 1.0 / (
+            self.bandwidth_gbps * GIGA
+        )
+        if per_byte_gain <= 0:
+            return float("inf")
+        fixed_loss = self.rw_call_overhead_s - 2.0 * self.map_call_overhead_s
+        return max(fixed_loss, 0.0) / per_byte_gain

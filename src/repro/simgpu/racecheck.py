@@ -1,0 +1,115 @@
+"""Data-race detection for emulated kernels.
+
+When :func:`repro.simgpu.emulator.run_kernel` is called with
+``race_check=True``, every buffer and local-memory argument is wrapped in a
+:class:`TrackedArray` and accesses are checked against a simple epoch model:
+
+* the *epoch* advances at every synchronization release (workgroup barrier
+  or wavefront ``WF_SYNC``);
+* two accesses to the same cell in the same epoch by *different* work-items
+  conflict if at least one is a write.
+
+This catches the classic kernel bugs — two items writing one output cell,
+reading a neighbour's local-memory slot before the barrier — in exactly the
+kernels where the paper's optimizations make ordering subtle (the tree
+reductions, the cooperatively-loaded Sobel tile, the parallel border
+lines).
+
+Limitation (documented): treating a ``WF_SYNC`` as a group-wide epoch bump
+is coarser than real lock-step, so a cross-wavefront conflict that happens
+to straddle another wavefront's sync can go undetected.  The
+wavefront-portability hazard itself is covered separately (the unrolled
+reduction produces *wrong sums* on narrow-wavefront devices, which the test
+suite asserts directly).
+"""
+
+from __future__ import annotations
+
+from ..errors import RaceConditionError
+
+
+class RaceTracker:
+    """Per-workgroup access bookkeeping."""
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.current_item: int | None = None
+        # (array_name, cell) -> (epoch, item) of the last write
+        self._writes: dict[tuple[str, object], tuple[int, int]] = {}
+        # (array_name, cell) -> (epoch, item, multiple_items)
+        self._reads: dict[tuple[str, object], tuple[int, int, bool]] = {}
+
+    def bump(self) -> None:
+        """A synchronization point was released: start a new epoch."""
+        self.epoch += 1
+
+    def _key(self, name: str, cell) -> tuple[str, object]:
+        return (name, cell)
+
+    def on_read(self, name: str, cell) -> None:
+        item = self.current_item
+        if item is None:  # pragma: no cover - defensive
+            return
+        key = self._key(name, cell)
+        write = self._writes.get(key)
+        if write is not None and write[0] == self.epoch \
+                and write[1] != item:
+            raise RaceConditionError(
+                f"{name}[{cell}]: work-item {item} reads a value written "
+                f"by work-item {write[1]} in the same epoch (missing "
+                f"barrier?)"
+            )
+        read = self._reads.get(key)
+        if read is None or read[0] != self.epoch:
+            self._reads[key] = (self.epoch, item, False)
+        elif read[1] != item and not read[2]:
+            self._reads[key] = (self.epoch, read[1], True)
+
+    def on_write(self, name: str, cell) -> None:
+        item = self.current_item
+        if item is None:  # pragma: no cover - defensive
+            return
+        key = self._key(name, cell)
+        write = self._writes.get(key)
+        if write is not None and write[0] == self.epoch \
+                and write[1] != item:
+            raise RaceConditionError(
+                f"{name}[{cell}]: work-items {write[1]} and {item} both "
+                f"write in the same epoch"
+            )
+        read = self._reads.get(key)
+        if read is not None and read[0] == self.epoch and (
+            read[2] or read[1] != item
+        ):
+            raise RaceConditionError(
+                f"{name}[{cell}]: work-item {item} writes a cell that "
+                f"work-item {read[1]} read in the same epoch"
+            )
+        self._writes[key] = (self.epoch, item)
+
+
+class TrackedArray:
+    """Race-checking proxy over anything with ``__getitem__/__setitem__``."""
+
+    __slots__ = ("_inner", "_name", "_tracker")
+
+    def __init__(self, inner, name: str, tracker: RaceTracker) -> None:
+        self._inner = inner
+        self._name = name
+        self._tracker = tracker
+
+    def __getitem__(self, idx):
+        value = self._inner[idx]  # bounds-check first
+        self._tracker.on_read(self._name, idx)
+        return value
+
+    def __setitem__(self, idx, value) -> None:
+        self._inner[idx] = value
+        self._tracker.on_write(self._name, idx)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def shape(self):
+        return self._inner.shape

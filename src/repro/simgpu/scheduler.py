@@ -1,0 +1,62 @@
+"""Workgroup dispatch and occupancy effects.
+
+A GPU only reaches its roofline when there are enough wavefronts in flight
+to saturate every compute unit and hide memory latency.  Small NDRanges — a
+256x256 image, the border kernel, the second reduction stage — leave most of
+the chip idle, which is the main reason the paper's speedups grow with image
+size (Fig. 12) and why the border kernel loses to the CPU below 768x768
+(Fig. 17).  ``parallel_utilization`` captures this with a simple saturation
+model; ``tail_factor`` adds the quantization effect of the last partial wave
+of workgroups.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidWorkGroupError
+from .device import DeviceSpec
+
+#: Wavefronts per compute unit needed to hide memory latency (GCN can hold
+#: 40; a handful in flight already reaches most of the bandwidth).
+_SATURATING_WAVEFRONTS_PER_CU = 8.0
+
+#: Utilization floor: even a single wavefront makes some progress.
+_MIN_UTILIZATION = 0.01
+
+
+def wavefronts_for(global_items: int, device: DeviceSpec) -> int:
+    """Number of wavefronts a launch of ``global_items`` work-items needs."""
+    if global_items <= 0:
+        raise InvalidWorkGroupError(
+            f"global_items must be > 0, got {global_items}"
+        )
+    return math.ceil(global_items / device.wavefront_size)
+
+
+def parallel_utilization(global_items: int, device: DeviceSpec) -> float:
+    """Fraction of the device's roofline a launch can use, in (0, 1].
+
+    Saturates once the launch supplies `_SATURATING_WAVEFRONTS_PER_CU`
+    wavefronts per compute unit; below that, throughput degrades
+    proportionally (bounded away from zero — one wavefront still runs).
+    """
+    wf = wavefronts_for(global_items, device)
+    saturating = _SATURATING_WAVEFRONTS_PER_CU * device.n_compute_units
+    return max(min(wf / saturating, 1.0), _MIN_UTILIZATION)
+
+
+def tail_factor(n_groups: int, device: DeviceSpec,
+                groups_per_cu: int = 4) -> float:
+    """Slowdown from the final partial wave of workgroups (>= 1).
+
+    If the device can co-schedule ``n_compute_units * groups_per_cu`` groups
+    per wave, a grid of ``n_groups`` takes ``ceil(waves)`` wave-times instead
+    of the ideal fractional number.
+    """
+    if n_groups <= 0:
+        raise InvalidWorkGroupError(f"n_groups must be > 0, got {n_groups}")
+    per_wave = device.n_compute_units * groups_per_cu
+    ideal_waves = n_groups / per_wave
+    actual_waves = math.ceil(ideal_waves)
+    return actual_waves / ideal_waves if ideal_waves > 0 else 1.0

@@ -1,0 +1,28 @@
+"""Shared utilities: synthetic workloads, validation, report formatting."""
+
+from .images import (
+    checkerboard,
+    gaussian_blobs,
+    gradient,
+    natural_like,
+    noise,
+    step_edges,
+    text_like,
+    video_sequence,
+)
+from .tables import format_table, format_fraction_table
+from .validation import require
+
+__all__ = [
+    "checkerboard",
+    "gaussian_blobs",
+    "gradient",
+    "natural_like",
+    "noise",
+    "step_edges",
+    "text_like",
+    "video_sequence",
+    "format_table",
+    "format_fraction_table",
+    "require",
+]

@@ -1,0 +1,107 @@
+"""Netpbm image I/O (PGM/PPM), dependency-free.
+
+The library operates on brightness planes; PGM (P5/P2) is the natural
+interchange format and every image viewer opens it.  PPM (P6) support exists
+so the colour pipeline (:mod:`repro.algo.color`) can round-trip RGB images.
+
+Only 8-bit-per-sample images (``maxval <= 255``) are supported — the
+algorithm's native pixel depth.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+
+from ..errors import ValidationError
+
+_TOKEN = re.compile(rb"(?:\s|^)(?:#[^\n]*\n\s*)*([0-9]+|P[1-6])")
+
+
+def _read_tokens(data: bytes, count: int, start: int = 0):
+    """Read ``count`` whitespace/comment-separated header tokens."""
+    tokens = []
+    pos = start
+    while len(tokens) < count:
+        match = _TOKEN.match(data, pos)
+        if not match:
+            raise ValidationError("truncated or malformed Netpbm header")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens, pos
+
+
+def read_pgm(path) -> np.ndarray:
+    """Read a P5 (binary) or P2 (ASCII) PGM file as a float64 plane."""
+    data = pathlib.Path(path).read_bytes()
+    (magic,), pos = _read_tokens(data, 1)
+    if magic not in (b"P5", b"P2"):
+        raise ValidationError(
+            f"not a PGM file (magic {magic!r}); expected P5 or P2"
+        )
+    (w, h, maxval), pos = _read_tokens(data, 3, pos)
+    w, h, maxval = int(w), int(h), int(maxval)
+    if not 0 < maxval <= 255:
+        raise ValidationError(f"unsupported maxval {maxval} (need <= 255)")
+    if magic == b"P5":
+        raster = data[pos + 1 : pos + 1 + w * h]  # one whitespace after hdr
+        if len(raster) < w * h:
+            raise ValidationError("truncated PGM raster")
+        plane = np.frombuffer(raster, dtype=np.uint8, count=w * h)
+    else:
+        values = data[pos:].split()
+        if len(values) < w * h:
+            raise ValidationError("truncated ASCII PGM raster")
+        plane = np.array([int(v) for v in values[: w * h]], dtype=np.uint8)
+    out = plane.reshape(h, w).astype(np.float64)
+    if maxval != 255:
+        out *= 255.0 / maxval
+    return out
+
+
+def write_pgm(path, plane: np.ndarray) -> None:
+    """Write a float/uint8 plane as binary PGM (P5)."""
+    arr = np.asarray(plane)
+    if arr.ndim != 2:
+        raise ValidationError(f"PGM needs a 2-D plane, got ndim={arr.ndim}")
+    u8 = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+    h, w = u8.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(u8.tobytes())
+
+
+def read_ppm(path) -> np.ndarray:
+    """Read a P6 (binary) PPM file as an ``(H, W, 3)`` float64 array."""
+    data = pathlib.Path(path).read_bytes()
+    (magic,), pos = _read_tokens(data, 1)
+    if magic != b"P6":
+        raise ValidationError(f"not a binary PPM file (magic {magic!r})")
+    (w, h, maxval), pos = _read_tokens(data, 3, pos)
+    w, h, maxval = int(w), int(h), int(maxval)
+    if not 0 < maxval <= 255:
+        raise ValidationError(f"unsupported maxval {maxval} (need <= 255)")
+    raster = data[pos + 1 : pos + 1 + 3 * w * h]
+    if len(raster) < 3 * w * h:
+        raise ValidationError("truncated PPM raster")
+    rgb = np.frombuffer(raster, dtype=np.uint8, count=3 * w * h)
+    out = rgb.reshape(h, w, 3).astype(np.float64)
+    if maxval != 255:
+        out *= 255.0 / maxval
+    return out
+
+
+def write_ppm(path, rgb: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` array as binary PPM (P6)."""
+    arr = np.asarray(rgb)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValidationError(
+            f"PPM needs an (H, W, 3) array, got shape {arr.shape}"
+        )
+    u8 = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+    h, w, _ = u8.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(u8.tobytes())

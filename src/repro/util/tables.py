@@ -1,0 +1,64 @@
+"""ASCII report formatting for the experiment harness.
+
+The experiment modules print the same rows/series the paper's figures plot;
+these helpers render them as aligned monospace tables so that benchmark logs
+are directly comparable with the figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: str | None = None, floatfmt: str = ".4g") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    norm_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(format(value, floatfmt))
+            else:
+                cells.append(str(value))
+        norm_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in norm_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in norm_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_fraction_table(stage_names: Sequence[str],
+                          by_size: dict[str, dict[str, float]],
+                          *, title: str | None = None) -> str:
+    """Render a Fig-13-style table: one row per image size, one column per
+    stage, cells are percentage shares of the total time."""
+    headers = ["size"] + [str(s) for s in stage_names]
+    rows = []
+    for size, fracs in by_size.items():
+        row: list[object] = [size]
+        for stage in stage_names:
+            row.append(f"{100.0 * fracs.get(stage, 0.0):6.2f}%")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_speedup(a: float, b: float) -> str:
+    """Format ``a / b`` as an ``N.NNx`` speedup string (b==0 -> 'inf')."""
+    if b <= 0:
+        return "inf"
+    return f"{a / b:.2f}x"

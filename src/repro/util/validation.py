@@ -1,0 +1,23 @@
+"""Tiny validation helpers used across the package."""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`~repro.errors.ValidationError` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ValidationError(f"{name} must be a power of two, got {value}")

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import Image, SharpnessParams
+from repro.util import images as imgs
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def params():
+    return SharpnessParams()
+
+
+def _plane_set(size: int) -> dict[str, np.ndarray]:
+    return {
+        "natural": imgs.natural_like(size, size, seed=7),
+        "checker": imgs.checkerboard(size, size, cell=4),
+        "gradient": imgs.gradient(size, size),
+        "noise": imgs.noise(size, size, seed=3),
+        "constant": np.full((size, size), 128.0),
+    }
+
+
+@pytest.fixture(scope="session")
+def small_planes():
+    """32x32 planes covering distinct statistics (for scalar-loop checks)."""
+    return _plane_set(32)
+
+
+@pytest.fixture(scope="session")
+def medium_planes():
+    """64x64 planes (for emulator and pipeline-level checks)."""
+    return _plane_set(64)
+
+
+@pytest.fixture(scope="session")
+def small_image(small_planes):
+    return Image.from_array(small_planes["natural"])
+
+
+@pytest.fixture(scope="session")
+def medium_image(medium_planes):
+    return Image.from_array(medium_planes["natural"])
+
+
+def assert_allclose(a, b, *, atol=1e-9, context=""):
+    __tracebackhide__ = True
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape, (
+        f"{context}: shape mismatch {a.shape} vs {b.shape}"
+    )
+    err = float(np.max(np.abs(a - b))) if a.size else 0.0
+    assert err <= atol, f"{context}: max abs diff {err} > {atol}"

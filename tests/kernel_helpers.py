@@ -1,0 +1,35 @@
+"""Helpers for exercising kernel specs in both execution modes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cl import CommandQueue, Context
+from repro.kernels.base import round_up
+from repro.simgpu.device import W8000
+
+
+def run_spec(spec, global_size, local_size, arg_builder, *, mode,
+             device=W8000):
+    """Run one kernel spec and return the dict of named buffers.
+
+    ``arg_builder(ctx)`` returns ``(args, buffers)`` where ``buffers`` is a
+    name->Buffer dict for post-run inspection.
+    """
+    ctx = Context(device, mode)
+    queue = CommandQueue(ctx)
+    args, buffers = arg_builder(ctx)
+    kernel = spec.create().set_args(*args)
+    queue.enqueue_nd_range(kernel, global_size, local_size)
+    return {name: buf.data.copy() for name, buf in buffers.items()}
+
+
+def grid2d(nx: int, ny: int, tile: int = 16):
+    return (round_up(nx, tile), round_up(ny, tile)), (tile, tile)
+
+
+def make_padded(plane: np.ndarray) -> np.ndarray:
+    h, w = plane.shape
+    out = np.zeros((h + 2, w + 2))
+    out[1:h + 1, 1:w + 1] = plane
+    return out

@@ -1,0 +1,178 @@
+"""Ablation experiments and the extra kernel variants they exercise."""
+
+import pytest
+
+from repro.algo import stages as algo
+from repro.cl import CommandQueue, Context
+from repro.errors import ConfigError
+from repro.experiments import ablations
+from repro.kernels import make_sobel_spec
+from repro.kernels.reduction import (
+    barriers_for,
+    make_reduction_spec,
+    reduction_layout,
+)
+from repro.simgpu.device import W8000
+
+from .conftest import assert_allclose
+from .kernel_helpers import make_padded
+
+
+class TestTiledSobel:
+    @pytest.fixture(scope="class")
+    def plane(self):
+        from repro.util import images
+        return images.natural_like(32, 32, seed=13)
+
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    def test_matches_algo(self, plane, mode):
+        ctx = Context(mode=mode)
+        queue = CommandQueue(ctx)
+        src = ctx.create_buffer((34, 34), transfer_itemsize=1)
+        src.data[...] = make_padded(plane)
+        dst = ctx.create_buffer((32, 32), transfer_itemsize=4)
+        spec = make_sobel_spec(padded=True, tiled=True)
+        queue.enqueue_nd_range(spec.create().set_args(src, dst, 32, 32),
+                               (32, 32), (16, 16))
+        assert_allclose(dst.data, algo.sobel(plane), atol=1e-9,
+                        context=f"tiled sobel {mode}")
+
+    def test_small_workgroup_emulation(self, plane):
+        """The cooperative tile load must work for any tile shape."""
+        ctx = Context(mode="emulate")
+        queue = CommandQueue(ctx)
+        src = ctx.create_buffer((34, 34), transfer_itemsize=1)
+        src.data[...] = make_padded(plane)
+        dst = ctx.create_buffer((32, 32), transfer_itemsize=4)
+        spec = make_sobel_spec(padded=True, tiled=True)
+        queue.enqueue_nd_range(spec.create().set_args(src, dst, 32, 32),
+                               (32, 32), (8, 8))
+        assert_allclose(dst.data, algo.sobel(plane), atol=1e-9,
+                        context="tiled sobel 8x8")
+
+    def test_requires_padding(self):
+        with pytest.raises(ConfigError):
+            make_sobel_spec(tiled=True)
+
+    def test_exclusive_with_vector(self):
+        with pytest.raises(ConfigError, match="exclusive"):
+            make_sobel_spec(padded=True, vector=True, tiled=True)
+
+    def test_cost_shape(self):
+        """Tiled: low global traffic, LDS traffic, one barrier per group."""
+        spec = make_sobel_spec(padded=True, tiled=True)
+        c = spec.cost(W8000, (1024, 1024), (16, 16), (None, None, 1024,
+                                                      1024))
+        scalar = make_sobel_spec(padded=True).cost(
+            W8000, (1024, 1024), (16, 16), (None, None, 1024, 1024))
+        assert c.global_bytes_read < 0.2 * scalar.global_bytes_read
+        assert c.local_bytes > 0
+        assert c.barriers_per_group == 1.0
+
+
+class TestReductionLayouts:
+    def test_layout_parameters(self):
+        n_groups, gsz, lsz = reduction_layout(10_000, wg=64, ept=2)
+        assert lsz == (64,)
+        assert n_groups == -(-10_000 // 128)
+        assert gsz == (n_groups * 64,)
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(Exception):
+            reduction_layout(100, wg=96)  # not a power of two
+        with pytest.raises(ConfigError):
+            reduction_layout(100, ept=0)
+        with pytest.raises(ConfigError):
+            make_reduction_spec(unroll=1, ept=0)
+
+    def test_barriers_formula(self):
+        assert barriers_for(0, 128) == 8
+        assert barriers_for(1, 64) == 1
+        assert barriers_for(1, 128) == 1
+        assert barriers_for(1, 256) == 2
+        assert barriers_for(2, 128) == 3 - 1  # 2: algorithm 2 on 128
+
+    def test_unroll2_requires_two_wavefronts(self):
+        with pytest.raises(ConfigError, match="two wavefronts"):
+            make_reduction_spec(unroll=2, wg=64)
+
+    @pytest.mark.parametrize("wg,ept", [(64, 2), (128, 8), (256, 4)])
+    def test_emulated_correctness_across_layouts(self, rng, wg, ept):
+        n = wg * ept * 2 + 17
+        values = rng.uniform(0, 255, n)
+        n_groups, gsz, lsz = reduction_layout(n, wg=wg, ept=ept)
+        ctx = Context(mode="emulate")
+        queue = CommandQueue(ctx)
+        src = ctx.create_buffer((n,), transfer_itemsize=4)
+        src.data[...] = values
+        partial = ctx.create_buffer((n_groups,), transfer_itemsize=4)
+        spec = make_reduction_spec(unroll=1, wg=wg, ept=ept)
+        queue.enqueue_nd_range(spec.create().set_args(src, partial, n),
+                               gsz, lsz)
+        assert partial.data.sum() == pytest.approx(values.sum(), rel=1e-12)
+
+    def test_wg256_unroll1_needs_extra_barrier(self, rng):
+        """For a 4-wavefront group the s=128 step crosses wavefronts, so
+        Algorithm 1 must barrier once more — verified via the emulator's
+        own barrier count."""
+        from repro.simgpu.emulator import run_kernel
+        from repro.simgpu.memory import GlobalBuffer
+
+        n = 256 * 4
+        values = rng.uniform(0, 255, n)
+        n_groups, gsz, lsz = reduction_layout(n, wg=256, ept=4)
+        src = GlobalBuffer((n,), transfer_itemsize=4)
+        src.data[...] = values
+        partial = GlobalBuffer((n_groups,), transfer_itemsize=4)
+        spec = make_reduction_spec(unroll=1, wg=256, ept=4)
+        stats = run_kernel(spec.emulator, gsz, lsz,
+                           (src.checked(), partial.checked(), n),
+                           device=W8000,
+                           local_mem=spec.local_mem(lsz, ()))
+        assert stats.barrier_releases == 2 * n_groups
+        assert partial.data.sum() == pytest.approx(values.sum(), rel=1e-12)
+
+
+class TestAblationExperiments:
+    def test_sobel_ablation_shapes(self):
+        rows = ablations.run_sobel()
+        for r in rows:
+            assert r.vector_time < r.scalar_time
+            assert r.tiled_time < r.scalar_time
+            # vector and tiled are the same ballpark (within 2x).
+            ratio = r.tiled_time / r.vector_time
+            assert 0.5 < ratio < 2.0
+
+    def test_reduction_layout_sweep(self):
+        rows = ablations.run_reduction_layout(n=1024 * 1024)
+        best = ablations.best_reduction_layout(rows)
+        assert best.time == min(r.time for r in rows)
+        # More elements per thread amortize barriers: at fixed wg=128 the
+        # time is non-increasing in ept for this size.
+        at_128 = sorted((r.ept, r.time) for r in rows if r.wg == 128)
+        times = [t for _, t in at_128]
+        assert times == sorted(times, reverse=True)
+
+    def test_papers_layout_is_near_optimal(self):
+        """The paper's 128 x 8 layout is within 15% of the sweep's best."""
+        rows = ablations.run_reduction_layout()
+        best = ablations.best_reduction_layout(rows)
+        paper = [r for r in rows if r.wg == 128 and r.ept == 8][0]
+        assert paper.time <= 1.15 * best.time
+
+    def test_fusion_ablation(self):
+        rows = ablations.run_fusion()
+        for r in rows:
+            assert 0.0 < r.traffic_saving < 1.0
+            assert r.fused_time < r.unfused_time
+
+    def test_reports_render(self):
+        text = ablations.report_all()
+        assert "Sobel" in text
+        assert "reduction layout" in text
+        assert "fusion" in text
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["ablations"]) == 0
+        assert "Ablation" in capsys.readouterr().out

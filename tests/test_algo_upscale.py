@@ -1,0 +1,146 @@
+"""Upscale stage: border lines, body interpolation, full assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algo import stages as algo
+from repro.algo.stages import BORDER_WEIGHTS, UPSCALE_P
+from repro.cpu import naive
+from repro.errors import ValidationError
+
+from .conftest import assert_allclose
+
+
+class TestParameterMatrices:
+    def test_upscale_p_rows_sum_to_one(self):
+        assert np.allclose(UPSCALE_P.sum(axis=1), 1.0)
+
+    def test_upscale_p_shape(self):
+        assert UPSCALE_P.shape == (4, 2)
+
+    def test_border_weights_rows_sum_to_one(self):
+        assert np.allclose(BORDER_WEIGHTS.sum(axis=1), 1.0)
+
+    def test_phase_zero_is_identity(self):
+        assert BORDER_WEIGHTS[0, 0] == 1.0 and BORDER_WEIGHTS[0, 1] == 0.0
+
+
+class TestBorderLine:
+    def test_matches_naive(self, rng):
+        line = rng.uniform(0, 255, 8)
+        assert_allclose(
+            algo.upscale_border_line(line, 32),
+            naive.upscale_border_line(line, 32),
+            context="border line",
+        )
+
+    def test_samples_land_every_fourth(self, rng):
+        line = rng.uniform(0, 255, 8)
+        out = algo.upscale_border_line(line, 32)
+        assert_allclose(out[0::4], line, context="anchor positions")
+
+    def test_last_three_copied(self, rng):
+        line = rng.uniform(0, 255, 8)
+        out = algo.upscale_border_line(line, 32)
+        assert out[29] == out[28] == out[30] == out[31] == line[7]
+
+    def test_interpolation_weights(self):
+        line = np.array([0.0, 100.0, 100.0, 100.0])
+        out = algo.upscale_border_line(line, 16)
+        assert out[1] == pytest.approx(25.0)   # 3/4*0 + 1/4*100
+        assert out[2] == pytest.approx(50.0)
+        assert out[3] == pytest.approx(75.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            algo.upscale_border_line(np.zeros(8), 31)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            algo.upscale_border_line(np.zeros((4, 4)), 16)
+
+
+class TestBody:
+    def test_matches_naive(self, rng):
+        down = rng.uniform(0, 255, (8, 8))
+        assert_allclose(algo.upscale_body(down), naive.upscale_body(down),
+                        context="upscale body")
+
+    def test_shape(self):
+        assert algo.upscale_body(np.zeros((8, 6))).shape == (28, 20)
+
+    def test_constant_preserved(self):
+        body = algo.upscale_body(np.full((6, 6), 42.0))
+        assert_allclose(body, np.full((20, 20), 42.0), atol=1e-12,
+                        context="constant body")
+
+    def test_separable_equals_matrix_form(self, rng):
+        """The separable implementation equals the paper's P @ D @ P.T."""
+        down = rng.uniform(0, 255, (4, 4))
+        body = algo.upscale_body(down)
+        for r in range(3):
+            for c in range(3):
+                block = UPSCALE_P @ down[r:r + 2, c:c + 2] @ UPSCALE_P.T
+                assert_allclose(
+                    body[4 * r:4 * r + 4, 4 * c:4 * c + 4], block,
+                    atol=1e-10, context=f"block ({r},{c})",
+                )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            algo.upscale_body(np.zeros((1, 8)))
+
+
+class TestFullUpscale:
+    def test_matches_naive_on_all_workloads(self, small_planes):
+        for name, plane in small_planes.items():
+            down = algo.downscale(plane)
+            assert_allclose(algo.upscale(down), naive.upscale(down),
+                            context=f"upscale({name})")
+
+    def test_shape_restored(self, rng):
+        down = rng.uniform(0, 255, (8, 12))
+        assert algo.upscale(down).shape == (32, 48)
+
+    def test_constant_roundtrip(self):
+        plane = np.full((32, 32), 77.0)
+        up = algo.upscale(algo.downscale(plane))
+        assert_allclose(up, plane, atol=1e-12, context="constant roundtrip")
+
+    def test_duplicated_border_lines(self, rng):
+        """Row pairs are duplicated; the four border columns are owned by
+        the (later-written) column lines, so the comparison excludes them
+        for the top rows.  Columns are written last and match everywhere."""
+        up = algo.upscale(rng.uniform(0, 255, (8, 8)))
+        assert_allclose(up[0, 2:-2], up[1, 2:-2],
+                        context="duplicated top rows")
+        assert_allclose(up[-2, 2:-2], up[-1, 2:-2],
+                        context="duplicated bottom rows")
+        assert_allclose(up[:, 0], up[:, 1], context="duplicated left cols")
+        assert_allclose(up[:, -2], up[:, -1], context="duplicated right cols")
+
+    def test_corner_overwrite_is_redundant(self, rng):
+        """The paper's explicit bottom-right 2x2 copy writes values that the
+        border-line copy rule already produced — the property that lets the
+        GPU border kernel run its four lines in parallel."""
+        down = rng.uniform(0, 255, (8, 8))
+        up = algo.upscale(down)
+        assert up[-1, -1] == up[-2, -2] == up[-1, -2] == up[-2, -1]
+        assert up[-1, -1] == pytest.approx(down[-1, -1])
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_output_within_input_range(self, nr, nc, seed):
+        """Interpolation with convex weights cannot overshoot the inputs."""
+        down = np.random.default_rng(seed).uniform(0, 255, (nr, nc))
+        up = algo.upscale(down)
+        assert up.min() >= down.min() - 1e-9
+        assert up.max() <= down.max() + 1e-9
+
+    def test_border_apply_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            algo.upscale_border_apply(np.zeros((16, 16)), np.zeros((8, 8)))

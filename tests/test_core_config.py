@@ -1,0 +1,85 @@
+"""Optimization flags: validation, presets, the Fig. 14 ladder."""
+
+import pytest
+
+from repro.core.config import (
+    BASE,
+    LADDER,
+    OPTIMIZED,
+    STEP_REDUCTION,
+    STEP_TRANSFER_FUSION,
+    STEP_VECTOR_BORDER,
+    OptimizationFlags,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_base(self):
+        f = OptimizationFlags()
+        assert f.transfer_mode == "map"
+        assert not f.fuse_sharpness
+        assert not f.reduction_on_gpu
+        assert not f.vectorize
+        assert f.border_place == "cpu"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"transfer_mode": "dma"},
+        {"reduction_unroll": 3},
+        {"reduction_stage2": "fpga"},
+        {"border_place": "tpu"},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            OptimizationFlags(**kwargs)
+
+    def test_pad_on_transfer_requires_padded_only(self):
+        with pytest.raises(ConfigError, match="pad_on_transfer"):
+            OptimizationFlags(pad_on_transfer=True)
+
+    def test_vectorize_requires_padded_only(self):
+        with pytest.raises(ConfigError, match="vectorize"):
+            OptimizationFlags(vectorize=True)
+
+    def test_with_returns_new_object(self):
+        f = BASE.with_(fuse_sharpness=True)
+        assert f.fuse_sharpness and not BASE.fuse_sharpness
+
+
+class TestLadder:
+    def test_ladder_order_and_names(self):
+        names = [name for name, _ in LADDER]
+        assert names == ["base", "transfer+fusion", "+reduction",
+                         "+vector+border", "+others"]
+
+    def test_ladder_is_cumulative(self):
+        """Each step keeps everything the previous step enabled."""
+        assert STEP_TRANSFER_FUSION.fuse_sharpness
+        assert STEP_TRANSFER_FUSION.transfer_mode == "rw"
+        assert STEP_REDUCTION.fuse_sharpness
+        assert STEP_REDUCTION.reduction_on_gpu
+        assert STEP_VECTOR_BORDER.reduction_on_gpu
+        assert STEP_VECTOR_BORDER.vectorize
+        assert OPTIMIZED.vectorize
+        assert OPTIMIZED.eliminate_sync and OPTIMIZED.builtins
+
+    def test_base_matches_section_iv(self):
+        """Naive version: map transfers, reduction + border on CPU,
+        clFinish after each kernel."""
+        assert BASE.transfer_mode == "map"
+        assert not BASE.transfer_padded_only
+        assert not BASE.reduction_on_gpu
+        assert BASE.border_place == "cpu"
+        assert not BASE.eliminate_sync
+
+    def test_optimized_uses_paper_defaults(self):
+        assert OPTIMIZED.reduction_unroll == 1  # Fig. 15 winner
+        assert OPTIMIZED.border_place == "auto"  # Fig. 17 heuristic
+        assert OPTIMIZED.pad_on_transfer  # WriteBufferRect (V.A)
+
+    def test_describe_mentions_active_flags(self):
+        s = OPTIMIZED.describe()
+        assert "fused" in s and "vec4" in s and "builtins" in s
+        assert "rw" in s
+        b = BASE.describe()
+        assert "map" in b and "red-cpu" in b

@@ -1,0 +1,151 @@
+"""Direct tests for core.fusion, core.metrics and core.transfer."""
+
+import numpy as np
+import pytest
+
+from repro.cl import CommandQueue, Context
+from repro.core import BASE, OPTIMIZED
+from repro.core.fusion import build_kernel_set
+from repro.core.metrics import (
+    GPU_STAGE_ORDER,
+    STAGE_MERGE,
+    ordered_fractions,
+    stage_times_from_timeline,
+)
+from repro.core.transfer import TransferPlanner
+from repro.simgpu.device import I5_3470
+from repro.simgpu.profiling import Timeline
+from repro.types import StageTimes
+
+
+class TestBuildKernelSet:
+    def test_base_set_is_unfused_scalar(self):
+        kernels = build_kernel_set(BASE)
+        assert set(kernels) == {"downscale", "center", "border", "sobel",
+                                "reduction", "perror", "prelim",
+                                "overshoot"}
+        assert kernels["sobel"].name == "sobel"  # unpadded scalar
+        assert kernels["center"].name == "upscale_center"
+
+    def test_optimized_set_is_fused_vectorized(self):
+        kernels = build_kernel_set(OPTIMIZED)
+        assert set(kernels) == {"downscale", "center", "border", "sobel",
+                                "reduction", "sharpness"}
+        assert kernels["sobel"].name == "sobel_vec"
+        assert kernels["center"].name == "upscale_center_vec"
+        assert kernels["sharpness"].name == "sharpness_vec"
+
+    def test_reduction_variant_follows_flags(self):
+        for unroll in (0, 1, 2):
+            kernels = build_kernel_set(OPTIMIZED.with_(
+                reduction_unroll=unroll))
+            assert kernels["reduction"].name == f"reduction_u{unroll}"
+
+    def test_fusion_without_vectorize(self):
+        flags = BASE.with_(fuse_sharpness=True)
+        kernels = build_kernel_set(flags)
+        assert kernels["sharpness"].name == "sharpness"  # scalar fused
+
+
+class TestMetrics:
+    def test_merge_map_targets_fig13_names(self):
+        for target in STAGE_MERGE.values():
+            assert target in GPU_STAGE_ORDER
+
+    def test_unfused_tail_groups_as_sharpness(self):
+        tl = Timeline()
+        tl.record("kernel:perror", "kernel", 1e-3, stage="perror")
+        tl.record("kernel:prelim", "kernel", 2e-3, stage="prelim")
+        tl.record("kernel:overshoot", "kernel", 3e-3, stage="overshoot")
+        times = stage_times_from_timeline(tl)
+        assert times.times == pytest.approx({"sharpness": 6e-3})
+
+    def test_sync_merges_into_data_init(self):
+        tl = Timeline()
+        tl.record("clFinish", "sync", 1e-5, stage="sync")
+        times = stage_times_from_timeline(tl)
+        assert "data_init" in times.times
+
+    def test_ordered_fractions_cover_all_stages(self):
+        st = StageTimes()
+        st.add("sobel", 1.0)
+        fr = ordered_fractions(st)
+        assert list(fr)[: len(GPU_STAGE_ORDER)] == list(GPU_STAGE_ORDER)
+        assert fr["sobel"] == 1.0
+        assert fr["downscale"] == 0.0
+
+    def test_unexpected_stage_kept_visible(self):
+        st = StageTimes()
+        st.add("mystery", 1.0)
+        fr = ordered_fractions(st)
+        assert fr["mystery"] == 1.0
+
+
+class TestTransferPlanner:
+    @pytest.fixture
+    def ctx(self):
+        return Context()
+
+    @pytest.fixture
+    def queue(self, ctx):
+        return CommandQueue(ctx)
+
+    def test_rw_upload_download(self, ctx, queue, rng):
+        planner = TransferPlanner(queue, "rw", I5_3470)
+        buf = ctx.create_buffer((8, 8))
+        host = rng.uniform(0, 1, (8, 8))
+        planner.upload(buf, host, stage="data_init")
+        out = planner.download(buf, stage="data_init")
+        assert np.array_equal(out, host)
+        kinds = [e.kind for e in ctx.timeline.events]
+        assert kinds == ["transfer", "transfer"]
+
+    def test_map_upload_download(self, ctx, queue, rng):
+        planner = TransferPlanner(queue, "map", I5_3470)
+        buf = ctx.create_buffer((8, 8))
+        host = rng.uniform(0, 1, (8, 8))
+        planner.upload(buf, host, stage="x")
+        assert np.array_equal(planner.download(buf, stage="x"), host)
+
+    def test_map_cheaper_than_rw_for_small_buffers(self, ctx, rng):
+        host = rng.uniform(0, 1, (8, 8))
+        times = {}
+        for mode in ("rw", "map"):
+            local_ctx = Context()
+            q = CommandQueue(local_ctx)
+            planner = TransferPlanner(q, mode, I5_3470)
+            buf = local_ctx.create_buffer((8, 8), transfer_itemsize=1)
+            planner.upload(buf, host, stage="x")
+            times[mode] = local_ctx.timeline.total
+        assert times["map"] < times["rw"]
+
+    def test_padded_upload_rect(self, ctx, queue, rng):
+        planner = TransferPlanner(queue, "rw", I5_3470)
+        plane = rng.uniform(0, 255, (16, 16))
+        padded = ctx.create_buffer((18, 18), transfer_itemsize=1)
+        planner.upload_padded(padded, plane, pad_on_transfer=True)
+        assert np.array_equal(padded.data[1:17, 1:17], plane)
+        assert np.all(padded.data[0] == 0)
+        # One rect transfer, no host padding step:
+        assert [e.kind for e in ctx.timeline.events] == ["transfer"]
+
+    def test_padded_upload_host_pad(self, ctx, queue, rng):
+        planner = TransferPlanner(queue, "rw", I5_3470)
+        plane = rng.uniform(0, 255, (16, 16))
+        padded = ctx.create_buffer((18, 18), transfer_itemsize=1)
+        planner.upload_padded(padded, plane, pad_on_transfer=False)
+        assert np.array_equal(padded.data[1:17, 1:17], plane)
+        kinds = [e.kind for e in ctx.timeline.events]
+        assert kinds == ["host", "transfer"]  # CPU memcpy then bulk write
+
+    def test_rect_beats_host_pad_in_time(self, rng):
+        plane = rng.uniform(0, 255, (1024, 1024))
+        times = {}
+        for rect in (True, False):
+            ctx = Context()
+            q = CommandQueue(ctx)
+            planner = TransferPlanner(q, "rw", I5_3470)
+            padded = ctx.create_buffer((1026, 1026), transfer_itemsize=1)
+            planner.upload_padded(padded, plane, pad_on_transfer=rect)
+            times[rect] = ctx.timeline.total
+        assert times[True] < times[False]

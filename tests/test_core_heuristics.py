@@ -1,0 +1,94 @@
+"""Placement heuristics: the paper's two "tested in advance" thresholds."""
+
+
+from repro.core.config import OPTIMIZED
+from repro.core.heuristics import (
+    BORDER_GPU_MIN_SIDE,
+    REDUCTION_STAGE2_GPU_MIN_PARTIALS,
+    border_cpu_time,
+    border_crossover_side,
+    border_gpu_time,
+    border_on_gpu,
+    reduction_stage2_on_gpu,
+)
+from repro.simgpu.device import W8000
+
+
+class TestBorderPlacement:
+    def test_forced_placements(self):
+        assert border_on_gpu(OPTIMIZED.with_(border_place="gpu"), 64, 64)
+        assert not border_on_gpu(OPTIMIZED.with_(border_place="cpu"),
+                                 8192, 8192)
+
+    def test_auto_uses_768_threshold(self):
+        auto = OPTIMIZED.with_(border_place="auto")
+        assert not border_on_gpu(auto, 704, 704)
+        assert border_on_gpu(auto, 768, 768)
+        assert border_on_gpu(auto, 4096, 4096)
+
+    def test_auto_uses_min_side(self):
+        auto = OPTIMIZED.with_(border_place="auto")
+        assert not border_on_gpu(auto, 4096, 256)
+
+    def test_paper_constant(self):
+        assert BORDER_GPU_MIN_SIDE == 768
+
+
+class TestBorderCrossover:
+    def test_model_crossover_matches_paper(self):
+        """The cost model's own advance test lands on the paper's 768."""
+        assert border_crossover_side() == 768
+
+    def test_cpu_grows_quadratically_gpu_linearly(self):
+        """The mechanism: CPU pays the upscaled-buffer transfer (O(N^2)),
+        the GPU kernel is latency-bound on a line (O(N))."""
+        cpu_ratio = border_cpu_time(2048, 2048) / border_cpu_time(1024, 1024)
+        gpu_ratio = border_gpu_time(2048, 2048) / border_gpu_time(1024, 1024)
+        assert cpu_ratio > 3.0       # ~quadratic
+        assert gpu_ratio < 2.2       # ~linear
+
+    def test_gpu_wins_at_all_paper_sizes_above_threshold(self):
+        for side in (768, 832, 1024, 2048, 4096):
+            assert border_gpu_time(side, side) < border_cpu_time(side, side)
+
+    def test_cpu_wins_at_paper_sizes_below_threshold(self):
+        for side in (448, 576, 704):
+            assert border_cpu_time(side, side) < border_gpu_time(side, side)
+
+    def test_map_mode_changes_cpu_cost(self):
+        rw = border_cpu_time(448, 448, transfer_mode="rw")
+        mp = border_cpu_time(448, 448, transfer_mode="map")
+        assert mp != rw
+
+
+class TestReductionStage2:
+    def test_forced(self):
+        assert reduction_stage2_on_gpu(
+            OPTIMIZED.with_(reduction_stage2="gpu"), 1)
+        assert not reduction_stage2_on_gpu(
+            OPTIMIZED.with_(reduction_stage2="cpu"), 10**6)
+
+    def test_auto_threshold(self):
+        auto = OPTIMIZED.with_(reduction_stage2="auto")
+        assert not reduction_stage2_on_gpu(
+            auto, REDUCTION_STAGE2_GPU_MIN_PARTIALS)
+        assert reduction_stage2_on_gpu(
+            auto, REDUCTION_STAGE2_GPU_MIN_PARTIALS + 1)
+
+    def test_4096_image_uses_gpu_stage2(self):
+        """A 4096^2 image produces 16384 stage-1 partials — "abundant"."""
+        n_partials = (4096 * 4096) // 1024
+        assert reduction_stage2_on_gpu(
+            OPTIMIZED.with_(reduction_stage2="auto"), n_partials)
+
+    def test_1024_image_uses_cpu_stage2(self):
+        n_partials = (1024 * 1024) // 1024
+        assert not reduction_stage2_on_gpu(
+            OPTIMIZED.with_(reduction_stage2="auto"), n_partials)
+
+
+class TestGpuBorderTimeShape:
+    def test_latency_term_dominates_at_paper_sizes(self):
+        t = border_gpu_time(768, 768)
+        serial = 768 * W8000.mem_latency_s
+        assert serial / t > 0.8

@@ -1,0 +1,174 @@
+"""Cross-validation: cost-model byte declarations vs emulator-counted
+accesses, for every kernel of the pipeline.
+
+Rules checked per kernel:
+
+* the model never declares *less* global traffic than the emulator
+  actually performs (no silent undercounting in the timing model);
+* the model overcounts by at most the documented transaction-granularity
+  factor (4x for scalar byte loads — ``U8_SCATTERED``) plus grid padding;
+* for float-dominated kernels the declaration is tight (within 2x).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algo import stages as algo
+from repro.kernels import (
+    make_downscale_spec,
+    make_perror_spec,
+    make_reduction_spec,
+    make_sharpness_fused_spec,
+    make_sobel_spec,
+    make_upscale_center_spec,
+)
+from repro.kernels.base import round_up
+from repro.kernels.reduction import reduction_layout
+from repro.simgpu.accesscount import AccessCounts, CountingArray
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import run_kernel
+from repro.simgpu.memory import GlobalBuffer
+from repro.types import SharpnessParams
+from repro.util import images
+
+from .kernel_helpers import make_padded
+
+# 64 keeps the 16x16 workgroup grids exact, so the declared-vs-actual
+# ratios reflect the accounting rules rather than grid padding.
+H = W = 64
+
+
+@pytest.fixture(scope="module")
+def data():
+    plane = images.natural_like(H, W, seed=41)
+    down = algo.downscale(plane)
+    up = algo.upscale(down)
+    edge = algo.sobel(plane)
+    return {
+        "plane": plane, "padded": make_padded(plane), "down": down,
+        "up": up, "edge": edge, "mean": algo.reduce_mean(edge),
+    }
+
+
+def _counted_run(spec, gsz, lsz, buffers, scalars):
+    """Run the emulator with counting wrappers.
+
+    ``buffers`` is a list of (name, array, itemsize); scalars follow.
+    Returns (counts, itemsizes).
+    """
+    counts = AccessCounts()
+    itemsizes = {}
+    args = []
+    for name, host, itemsize in buffers:
+        buf = GlobalBuffer(host.shape, transfer_itemsize=itemsize,
+                           name=name)
+        buf.data[...] = host
+        itemsizes[name] = itemsize
+        args.append(CountingArray(buf.checked(), name, counts))
+    args.extend(scalars)
+    run_kernel(
+        spec.emulator, gsz, lsz, tuple(args), device=W8000,
+        local_mem=spec.local_mem(lsz, tuple(args)) if spec.local_mem
+        else {},
+    )
+    return counts, itemsizes
+
+
+def _assert_bounds(spec, gsz, lsz, cost_args, counts, itemsizes, *,
+                   tight=False):
+    cost = spec.cost(W8000, gsz, lsz, cost_args)
+    actual_read = counts.read_bytes(itemsizes)
+    actual_write = counts.write_bytes(itemsizes)
+    assert cost.global_bytes_read >= actual_read * 0.99, (
+        f"{spec.name}: model declares {cost.global_bytes_read} read bytes "
+        f"but the emulator performed {actual_read}"
+    )
+    assert cost.global_bytes_written >= actual_write * 0.99, spec.name
+    upper = 2.0 if tight else 8.0
+    assert cost.global_bytes_read <= max(actual_read * upper, 1024), \
+        f"{spec.name}: model read declaration too loose"
+    assert cost.global_bytes_written <= max(actual_write * upper, 1024), \
+        f"{spec.name}: model write declaration too loose"
+
+
+class TestCostDeclarationsMatchEmulator:
+    def test_downscale(self, data):
+        spec = make_downscale_spec(padded=True)
+        gsz, lsz = (round_up(W // 4, 16), round_up(H // 4, 16)), (16, 16)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("src", data["padded"], 1),
+             ("dst", np.zeros((H // 4, W // 4)), 4)],
+            [H, W],
+        )
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=True)
+
+    def test_sobel_scalar(self, data):
+        spec = make_sobel_spec(padded=True)
+        gsz, lsz = (round_up(W, 16), round_up(H, 16)), (16, 16)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("src", data["padded"], 1), ("dst", np.zeros((H, W)), 4)],
+            [H, W],
+        )
+        # Scalar byte loads are charged at transaction granularity (4x).
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=False)
+
+    def test_sobel_vector(self, data):
+        spec = make_sobel_spec(padded=True, vector=True)
+        gsz, lsz = (round_up(W // 4, 16), round_up(H, 16)), (16, 16)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("src", data["padded"], 1), ("dst", np.zeros((H, W)), 4)],
+            [H, W],
+        )
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=True)
+
+    def test_center_vector(self, data):
+        spec = make_upscale_center_spec(vector=True)
+        gsz, lsz = ((round_up((W - 4) // 4, 16), round_up((H - 4) // 4,
+                                                          16)), (16, 16))
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("down", data["down"], 4), ("up", np.zeros((H, W)), 4)],
+            [H, W],
+        )
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=True)
+
+    def test_perror(self, data):
+        spec = make_perror_spec(padded=True)
+        gsz, lsz = (round_up(W, 16), round_up(H, 16)), (16, 16)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("src", data["padded"], 1), ("up", data["up"], 4),
+             ("dst", np.zeros((H, W)), 4)],
+            [H, W],
+        )
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=True)
+
+    def test_sharpness_fused_vector(self, data):
+        spec = make_sharpness_fused_spec(padded=True, vector=True)
+        gsz, lsz = (round_up(W // 4, 16), round_up(H, 16)), (16, 16)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("up", data["up"], 4), ("pedge", data["edge"], 4),
+             ("src", data["padded"], 1), ("dst", np.zeros((H, W)), 1)],
+            [data["mean"], SharpnessParams(), H, W],
+        )
+        _assert_bounds(spec, gsz, lsz, (), counts, sizes, tight=False)
+
+    @pytest.mark.parametrize("unroll", [0, 1, 2])
+    def test_reduction(self, rng, unroll):
+        values = rng.uniform(0, 255, 4096)
+        n_groups, gsz, lsz = reduction_layout(values.size)
+        spec = make_reduction_spec(unroll=unroll)
+        counts, sizes = _counted_run(
+            spec, gsz, lsz,
+            [("src", values, 4), ("partial", np.zeros(n_groups), 4)],
+            [values.size],
+        )
+        cost_args = (None, None, values.size)
+        _assert_bounds(spec, gsz, lsz, cost_args, counts, sizes,
+                       tight=True)
+        # The reduction reads each element exactly once from global memory.
+        assert counts.read_elements("src") == values.size

@@ -1,0 +1,87 @@
+"""Property-based emulator tests: NDRange coverage and identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cl import Program
+from repro.cl.context import Context
+from repro.core import OPTIMIZED
+from repro.core.fusion import build_kernel_set
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import BARRIER, run_kernel
+from repro.simgpu.memory import GlobalBuffer
+
+pow2 = st.sampled_from([1, 2, 4, 8])
+
+
+class TestNDRangeProperties:
+    @given(pow2, pow2, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_every_item_runs_exactly_once_2d(self, lx, ly, gx_mult,
+                                             gy_mult):
+        gx, gy = lx * gx_mult, ly * gy_mult
+        buf = GlobalBuffer((gy, gx))
+
+        def kernel(ctx, dst):
+            x, y = ctx.get_global_id(0), ctx.get_global_id(1)
+            dst[y, x] = dst[y, x] + 1.0
+
+        stats = run_kernel(kernel, (gx, gy), (lx, ly), (buf.checked(),),
+                           device=W8000)
+        assert np.all(buf.data == 1.0)
+        assert stats.n_work_items == gx * gy
+        assert stats.n_groups == gx_mult * gy_mult
+
+    @given(pow2, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_group_reduction_identity_1d(self, local, n_groups):
+        """Sum of per-group local reductions equals the global sum,
+        regardless of the workgroup shape."""
+        n = local * n_groups
+        rng = np.random.default_rng(local * 100 + n_groups)
+        src = GlobalBuffer((n,))
+        src.data[...] = rng.uniform(0, 10, n)
+        out = GlobalBuffer((n_groups,))
+
+        def kernel(ctx, src_a, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = src_a[ctx.get_global_id(0)]
+            yield BARRIER
+            if lid == 0:
+                acc = 0.0
+                for i in range(ctx.get_local_size(0)):
+                    acc += scratch[i]
+                dst[ctx.get_group_id(0)] = acc
+
+        run_kernel(kernel, (n,), (local,),
+                   (src.checked(), out.checked()), device=W8000,
+                   local_mem={"scratch": local})
+        assert out.data.sum() == pytest.approx(src.data.sum(), rel=1e-12)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_barrier_count_scales_with_groups(self, n_groups):
+        def kernel(ctx):
+            yield BARRIER
+            yield BARRIER
+
+        stats = run_kernel(kernel, (4 * n_groups,), (4,), (),
+                           device=W8000)
+        assert stats.barrier_releases == 2 * n_groups
+
+
+class TestProgramIntegration:
+    @pytest.mark.parametrize("flags", [OPTIMIZED,
+                                       OPTIMIZED.with_(vectorize=False)])
+    def test_pipeline_kernel_set_builds_as_program(self, flags):
+        """The kernel sets the pipeline uses are valid cl.Program inputs
+        and every kernel is creatable by name."""
+        ctx = Context()
+        specs = build_kernel_set(flags)
+        program = Program(ctx, list(specs.values()))
+        for spec in specs.values():
+            kernel = program.create_kernel(spec.name)
+            assert kernel.name == spec.name

@@ -1,0 +1,73 @@
+"""Every example script runs end to end (small arguments, tmp cwd)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, cwd) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300, cwd=cwd,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = _run("quickstart.py", "128", cwd=tmp_path)
+        assert "simulated speedup" in out
+        assert "GPU stage breakdown" in out
+
+    def test_tv_realtime(self, tmp_path):
+        out = _run("tv_realtime.py", "2", cwd=tmp_path)
+        assert "GPU optimized" in out
+        assert "overlap" in out
+        assert "fps" in out
+
+    def test_optimization_ladder(self, tmp_path):
+        out = _run("optimization_ladder.py", "256", cwd=tmp_path)
+        assert "vs base" in out
+        for step in ("base", "transfer+fusion", "+reduction",
+                     "+vector+border", "+others"):
+            assert step in out
+
+    def test_tuning_gallery(self, tmp_path):
+        out = _run("tuning_gallery.py", str(tmp_path / "gallery"),
+                   cwd=tmp_path)
+        assert "ringing-free" in out
+        pgms = list((tmp_path / "gallery").glob("*.pgm"))
+        assert len(pgms) == 6  # original + 5 presets
+
+    def test_device_whatif(self, tmp_path):
+        out = _run("device_whatif.py", cwd=tmp_path)
+        assert "crossover" in out
+        assert "wavefront" in out
+        assert "PCI-E share" in out
+
+    def test_trace_viewer(self, tmp_path):
+        out = _run("trace_viewer.py", str(tmp_path / "traces"),
+                   cwd=tmp_path)
+        assert "Pipelined" in out
+        traces = list((tmp_path / "traces").glob("*.trace.json"))
+        assert len(traces) == 2
+
+
+@pytest.mark.parametrize("module,args", [
+    ("repro", ["demo", "{tmp}/x.pgm", "--size", "64"]),
+    ("repro.experiments", ["table1"]),
+])
+def test_module_entrypoints(module, args, tmp_path):
+    args = [a.format(tmp=tmp_path) for a in args]
+    result = subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True, text=True, timeout=120, cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,248 @@
+"""Experiment harness: every figure's *shape* must match the paper."""
+
+import pytest
+
+from repro.experiments import (
+    fig12_speedup,
+    fig13_fractions,
+    fig14_stepwise,
+    fig15_unroll,
+    fig16_reduction,
+    fig17_border,
+    hardware,
+    make_image,
+)
+from repro.experiments.__main__ import main as cli_main
+from repro.errors import ValidationError
+
+#: Reduced size grid so the suite stays fast; shapes hold at every scale.
+SIZES = (256, 512, 1024)
+
+
+class TestTable1:
+    def test_simulator_matches_paper_table(self):
+        assert hardware.matches_paper()
+
+    def test_report_contains_all_specs(self):
+        text = hardware.report()
+        assert "1792" in text and "3230" in text
+        assert "57.76" in text and "176" in text
+
+    def test_rows_shape(self):
+        rows = hardware.run()
+        assert len(rows) == 4
+        assert all(len(r) == 3 for r in rows)
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    return fig12_speedup.run(SIZES, validate=True)
+
+
+class TestFig12:
+    def test_gpu_always_faster_than_cpu(self, fig12_rows):
+        for r in fig12_rows:
+            assert r.base_speedup > 1.0
+            assert r.opt_speedup > 1.0
+
+    def test_speedup_grows_with_size(self, fig12_rows):
+        base = [r.base_speedup for r in fig12_rows]
+        opt = [r.opt_speedup for r in fig12_rows]
+        assert base == sorted(base)
+        assert opt == sorted(opt)
+
+    def test_smallest_size_near_paper_anchors(self, fig12_rows):
+        """Paper: 9.8x (base) and 10.7x (optimized) at 256x256."""
+        r = fig12_rows[0]
+        assert r.base_speedup == pytest.approx(9.8, rel=0.25)
+        assert r.opt_speedup == pytest.approx(10.7, rel=0.25)
+
+    def test_optimized_wins_at_large_sizes(self, fig12_rows):
+        assert fig12_rows[-1].opt_over_base > 1.5
+
+    def test_report_renders(self, fig12_rows):
+        text = fig12_speedup.report(fig12_rows)
+        assert "Fig. 12" in text and "256x256" in text
+
+    @pytest.mark.slow
+    def test_paper_endpoint_at_4096(self):
+        rows = fig12_speedup.run((4096,), validate=False)
+        assert rows[0].opt_speedup == pytest.approx(69.3, rel=0.25)
+
+
+class TestFig13:
+    def test_cpu_bottlenecks(self):
+        fracs = fig13_fractions.run("cpu", SIZES)
+        for size, fr in fracs.items():
+            assert set(fig13_fractions.dominant_stages(fr)) == \
+                {"strength", "overshoot"}, size
+
+    def test_base_gpu_bottlenecks_shift(self):
+        """Fig. 13(b): the bottleneck moves away from the sharpness tail
+        (overshoot + strength parallelize well on the GPU); reduction
+        becomes the top stage."""
+        cpu = fig13_fractions.run("cpu", (1024,))["1024x1024"]
+        base = fig13_fractions.run("base", (1024,))["1024x1024"]
+        cpu_tail = cpu["overshoot"] + cpu["strength"]
+        assert base["sharpness"] < 0.5 * cpu_tail
+        assert fig13_fractions.dominant_stages(base, top=1) == ["reduction"]
+
+    def test_optimized_more_even_than_base(self):
+        """Fig. 13(c): "more evenly distributed without prominent
+        bottlenecks" — compared over the kernel stages (the transfer
+        share of our PCI-E model is a recorded deviation, see
+        EXPERIMENTS.md)."""
+        kernel_stages = ("downscale", "center", "sobel", "reduction",
+                         "sharpness")
+
+        def kernel_evenness(fr):
+            total = sum(fr.get(s, 0.0) for s in kernel_stages)
+            return max(fr.get(s, 0.0) for s in kernel_stages) / total
+
+        base = fig13_fractions.run("base", (4096,))["4096x4096"]
+        opt = fig13_fractions.run("optimized", (4096,))["4096x4096"]
+        assert kernel_evenness(opt) < kernel_evenness(base)
+
+    def test_report_renders_all_three(self):
+        text = fig13_fractions.report_all((256,))
+        assert "13(a)" in text and "13(b)" in text and "13(c)" in text
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig14_stepwise.run((256, 1024))
+
+    def test_transfer_fusion_hurts_small_images(self, rows):
+        """The paper's observation: the rw + fusion step reduces
+        performance at small sizes (map/unmap is effective there)."""
+        step1_256 = [r for r in rows
+                     if r.size == 256 and r.step == "transfer+fusion"][0]
+        assert step1_256.speedup_vs_base < 1.0
+
+    def test_full_ladder_wins_everywhere(self, rows):
+        finals = fig14_stepwise.final_speedups(rows)
+        assert all(s >= 1.0 for s in finals.values())
+
+    def test_gain_grows_with_size(self, rows):
+        finals = fig14_stepwise.final_speedups(rows)
+        assert finals[1024] > finals[256]
+
+    def test_small_size_near_paper_low_anchor(self, rows):
+        """Paper: 1.15x total gain at the small end."""
+        finals = fig14_stepwise.final_speedups(rows)
+        assert finals[256] == pytest.approx(1.15, rel=0.2)
+
+    def test_reduction_and_vectorization_contribute_most(self):
+        rows = fig14_stepwise.run((1024,))
+        by_step = {r.step: r.time for r in rows}
+        gain_red = by_step["transfer+fusion"] / by_step["+reduction"]
+        gain_vec = by_step["+reduction"] / by_step["+vector+border"]
+        gain_fusion = by_step["base"] / by_step["transfer+fusion"]
+        assert gain_red > gain_fusion
+        assert gain_vec > gain_fusion
+
+    def test_report_renders(self, rows):
+        assert "Fig. 14" in fig14_stepwise.report(rows)
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig15_unroll.run((256, 1024, 4096))
+
+    def test_unroll_one_always_wins(self, rows):
+        for r in rows:
+            assert r.unroll1_time <= r.unroll2_time, r.size
+
+    def test_both_unrolls_beat_plain_tree(self, rows):
+        for r in rows:
+            assert r.unroll1_time < r.naive_time
+            assert r.unroll2_time < r.naive_time
+
+    def test_gap_is_modest(self, rows):
+        """Fig. 15 shows a visible but small gap, not an order of
+        magnitude."""
+        for r in rows:
+            assert r.unroll1_vs_unroll2 < 1.5
+
+    def test_model_matches_pipeline_reduction_stage(self):
+        """The standalone model prices exactly what the pipeline's
+        timeline records for the reduction stage."""
+        from repro.core import OPTIMIZED, GPUPipeline
+
+        image = make_image(256)
+        res = GPUPipeline(OPTIMIZED).run(image)
+        model = fig15_unroll.reduction_gpu_time(256 * 256, unroll=1)
+        assert res.times.times["reduction"] == pytest.approx(model,
+                                                             rel=1e-9)
+
+    def test_report_renders(self, rows):
+        assert "Fig. 15" in fig15_unroll.report(rows)
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig16_reduction.run((256, 1024, 4096))
+
+    def test_gpu_wins_from_moderate_sizes(self, rows):
+        for r in rows:
+            assert r.speedup > 1.0, r.size
+
+    def test_speedup_grows_with_size(self, rows):
+        sp = [r.speedup for r in rows]
+        assert sp == sorted(sp)
+
+    def test_peak_near_paper_value(self, rows):
+        """Paper: up to 30.8x."""
+        assert rows[-1].speedup == pytest.approx(30.8, rel=0.3)
+
+    def test_report_renders(self, rows):
+        assert "Fig. 16" in fig16_reduction.report(rows)
+
+
+class TestFig17:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig17_border.run()
+
+    def test_winner_flips_exactly_at_768(self, rows):
+        winners = {r.size: r.winner for r in rows}
+        assert winners == {448: "cpu", 576: "cpu", 704: "cpu",
+                           768: "gpu", 832: "gpu"}
+
+    def test_report_names_crossover(self, rows):
+        text = fig17_border.report(rows)
+        assert "768x768" in text
+
+
+class TestRunnerAndCli:
+    def test_make_image_workloads(self):
+        for name in ("natural", "text", "checker", "noise", "gradient",
+                     "blobs", "steps"):
+            img = make_image(64, name)
+            assert img.shape == (64, 64)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError, match="workload"):
+            make_image(64, "mandelbrot")
+
+    def test_cli_table1(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_cli_fig16(self, capsys):
+        assert cli_main(["fig16", "--sizes", "256", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "512x512" in out
+
+    def test_cli_fig12_small(self, capsys):
+        assert cli_main(["fig12", "--sizes", "256", "--workload",
+                         "checker"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])

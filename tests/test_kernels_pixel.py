@@ -1,0 +1,182 @@
+"""Pixel kernels: downscale, upscale center/border, perror — both faces."""
+
+import numpy as np
+import pytest
+
+from repro.algo import stages as algo
+from repro.kernels import (
+    make_downscale_spec,
+    make_perror_spec,
+    make_upscale_border_spec,
+    make_upscale_center_spec,
+)
+from repro.kernels.upscale_border import (
+    BORDER_GLOBAL,
+    BORDER_LOCAL,
+    border_line_value,
+)
+from repro.simgpu.device import W8000
+
+from .conftest import assert_allclose
+from .kernel_helpers import grid2d, make_padded, run_spec
+
+H = W = 32
+
+
+@pytest.fixture(scope="module")
+def plane():
+    from repro.util import images
+    return images.natural_like(H, W, seed=5)
+
+
+def _downscale_args(plane, padded):
+    src_host = make_padded(plane) if padded else plane
+
+    def build(ctx):
+        src = ctx.create_buffer(src_host.shape, transfer_itemsize=1)
+        src.data[...] = src_host
+        dst = ctx.create_buffer((H // 4, W // 4), transfer_itemsize=4)
+        return (src, dst, H, W), {"dst": dst}
+
+    return build
+
+
+class TestDownscaleKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_matches_algo(self, plane, mode, padded):
+        spec = make_downscale_spec(padded=padded)
+        gsz, lsz = grid2d(W // 4, H // 4)
+        out = run_spec(spec, gsz, lsz, _downscale_args(plane, padded),
+                       mode=mode)
+        assert_allclose(out["dst"], algo.downscale(plane), atol=1e-9,
+                        context=f"downscale {mode} padded={padded}")
+
+    def test_cost_scales_with_items(self):
+        spec = make_downscale_spec()
+        c1 = spec.cost(W8000, (64, 64), (16, 16), ())
+        c2 = spec.cost(W8000, (128, 128), (16, 16), ())
+        assert c2.global_bytes_read == 4 * c1.global_bytes_read
+        assert c2.flops == 4 * c1.flops
+
+
+def _center_args(plane):
+    down_host = algo.downscale(plane)
+
+    def build(ctx):
+        down = ctx.create_buffer(down_host.shape, transfer_itemsize=4)
+        down.data[...] = down_host
+        up = ctx.create_buffer((H, W), transfer_itemsize=4)
+        return (down, up, H, W), {"up": up}
+
+    return build
+
+
+class TestUpscaleCenterKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("vector", [False, True])
+    def test_matches_algo_body(self, plane, mode, vector):
+        spec = make_upscale_center_spec(vector=vector)
+        if vector:
+            gsz, lsz = grid2d((W - 4) // 4, (H - 4) // 4)
+        else:
+            gsz, lsz = grid2d(W - 4, H - 4)
+        out = run_spec(spec, gsz, lsz, _center_args(plane), mode=mode)
+        expected = algo.upscale_body(algo.downscale(plane))
+        assert_allclose(out["up"][2:H - 2, 2:W - 2], expected, atol=1e-9,
+                        context=f"center {mode} vector={vector}")
+
+    def test_vector_reads_fewer_bytes_for_same_output(self):
+        """The V.D data-sharing payoff: 4 float reads per 16 outputs
+        instead of 4 per output."""
+        scalar = make_upscale_center_spec(vector=False)
+        vector = make_upscale_center_spec(vector=True)
+        c_s = scalar.cost(W8000, (64, 64), (16, 16), ())
+        c_v = vector.cost(W8000, (16, 16), (16, 16), ())
+        # Same 64x64 output region:
+        assert c_v.global_bytes_read * 16 == pytest.approx(
+            c_s.global_bytes_read
+        )
+
+
+def _border_args(plane):
+    down_host = algo.downscale(plane)
+
+    def build(ctx):
+        down = ctx.create_buffer(down_host.shape, transfer_itemsize=4)
+        down.data[...] = down_host
+        up = ctx.create_buffer((H, W), transfer_itemsize=4)
+        return (down, up, H, W), {"up": up}
+
+    return build
+
+
+class TestUpscaleBorderKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    def test_matches_canonical_border(self, plane, mode):
+        spec = make_upscale_border_spec()
+        out = run_spec(spec, BORDER_GLOBAL, BORDER_LOCAL,
+                       _border_args(plane), mode=mode)
+        expected = np.zeros((H, W))
+        algo.upscale_border_apply(expected, algo.downscale(plane))
+        # Border cells only (body untouched by this kernel):
+        for region in (np.s_[0:2, :], np.s_[H - 2:, :],
+                       np.s_[:, 0:2], np.s_[:, W - 2:]):
+            assert_allclose(out["up"][region], expected[region], atol=1e-9,
+                            context=f"border {mode} region {region}")
+
+    def test_body_untouched(self, plane):
+        spec = make_upscale_border_spec()
+        out = run_spec(spec, BORDER_GLOBAL, BORDER_LOCAL,
+                       _border_args(plane), mode="emulate")
+        assert np.all(out["up"][2:H - 2, 2:W - 2] == 0.0)
+
+    def test_cost_is_latency_bound(self):
+        """The serial per-line loops dominate the launch cost and grow
+        linearly with the image side (the Fig. 17 mechanism)."""
+        spec = make_upscale_border_spec()
+        c_small = spec.cost(W8000, BORDER_GLOBAL, BORDER_LOCAL,
+                            (None, None, 448, 448))
+        c_large = spec.cost(W8000, BORDER_GLOBAL, BORDER_LOCAL,
+                            (None, None, 896, 896))
+        assert c_small.serial_latency_s == pytest.approx(
+            448 * W8000.mem_latency_s)
+        assert c_large.serial_latency_s == pytest.approx(
+            2 * c_small.serial_latency_s)
+        assert c_small.divergent
+
+
+class TestBorderLineValue:
+    def test_matches_canonical_line(self, rng):
+        line = rng.uniform(0, 255, 8)
+        expected = algo.upscale_border_line(line, 32)
+        got = [border_line_value(line, j, 32) for j in range(32)]
+        assert_allclose(got, expected, context="border line rule")
+
+
+def _perror_args(plane, padded):
+    src_host = make_padded(plane) if padded else plane
+    up_host = algo.upscale(algo.downscale(plane))
+
+    def build(ctx):
+        src = ctx.create_buffer(src_host.shape, transfer_itemsize=1)
+        src.data[...] = src_host
+        up = ctx.create_buffer((H, W), transfer_itemsize=4)
+        up.data[...] = up_host
+        dst = ctx.create_buffer((H, W), transfer_itemsize=4)
+        return (src, up, dst, H, W), {"dst": dst}
+
+    return build
+
+
+class TestPerrorKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_matches_algo(self, plane, mode, padded):
+        spec = make_perror_spec(padded=padded)
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, _perror_args(plane, padded),
+                       mode=mode)
+        up = algo.upscale(algo.downscale(plane))
+        assert_allclose(out["dst"], algo.perror(plane, up), atol=1e-9,
+                        context=f"perror {mode} padded={padded}")

@@ -1,0 +1,166 @@
+"""Sharpness-tail kernels: prelim, overshoot, fused (scalar and vector)."""
+
+import numpy as np
+import pytest
+
+from repro.algo import stages as algo
+from repro.errors import ConfigError
+from repro.kernels import (
+    make_overshoot_spec,
+    make_prelim_spec,
+    make_sharpness_fused_spec,
+)
+from repro.simgpu.device import W8000
+from repro.types import SharpnessParams
+
+from .conftest import assert_allclose
+from .kernel_helpers import grid2d, make_padded, run_spec
+
+H = W = 32
+PARAMS = SharpnessParams()
+
+
+@pytest.fixture(scope="module")
+def stage_data():
+    from repro.util import images
+    plane = images.natural_like(H, W, seed=11)
+    down = algo.downscale(plane)
+    up = algo.upscale(down)
+    err = algo.perror(plane, up)
+    edge = algo.sobel(plane)
+    mean = algo.reduce_mean(edge)
+    strength = algo.strength_map(edge, mean, PARAMS)
+    prelim = algo.preliminary_sharpen(up, err, strength)
+    final = algo.overshoot_control(prelim, plane, PARAMS)
+    return {
+        "plane": plane, "up": up, "err": err, "edge": edge,
+        "mean": mean, "prelim": prelim, "final": final,
+    }
+
+
+class TestPrelimKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    def test_matches_algo(self, stage_data, mode):
+        d = stage_data
+
+        def build(ctx):
+            up = ctx.create_buffer((H, W), transfer_itemsize=4)
+            up.data[...] = d["up"]
+            edge = ctx.create_buffer((H, W), transfer_itemsize=4)
+            edge.data[...] = d["edge"]
+            err = ctx.create_buffer((H, W), transfer_itemsize=4)
+            err.data[...] = d["err"]
+            dst = ctx.create_buffer((H, W), transfer_itemsize=4)
+            return (up, edge, err, dst, d["mean"], PARAMS, H, W), \
+                {"dst": dst}
+
+        spec = make_prelim_spec()
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, build, mode=mode)
+        assert_allclose(out["dst"], d["prelim"], atol=1e-9,
+                        context=f"prelim {mode}")
+
+
+class TestOvershootKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_matches_algo(self, stage_data, mode, padded):
+        d = stage_data
+        src_host = make_padded(d["plane"]) if padded else d["plane"]
+
+        def build(ctx):
+            prelim = ctx.create_buffer((H, W), transfer_itemsize=4)
+            prelim.data[...] = d["prelim"]
+            src = ctx.create_buffer(src_host.shape, transfer_itemsize=1)
+            src.data[...] = src_host
+            dst = ctx.create_buffer((H, W), transfer_itemsize=1)
+            return (prelim, src, dst, PARAMS, H, W), {"dst": dst}
+
+        spec = make_overshoot_spec(padded=padded)
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, build, mode=mode)
+        assert_allclose(out["dst"], d["final"], atol=1e-9,
+                        context=f"overshoot {mode} padded={padded}")
+
+    def test_divergent_without_builtins(self):
+        assert make_overshoot_spec().cost(W8000, (32, 32), (16, 16),
+                                          ()).divergent
+        assert not make_overshoot_spec(builtins=True).cost(
+            W8000, (32, 32), (16, 16), ()).divergent
+
+
+def _fused_args(stage_data, padded):
+    d = stage_data
+    src_host = make_padded(d["plane"]) if padded else d["plane"]
+
+    def build(ctx):
+        up = ctx.create_buffer((H, W), transfer_itemsize=4)
+        up.data[...] = d["up"]
+        edge = ctx.create_buffer((H, W), transfer_itemsize=4)
+        edge.data[...] = d["edge"]
+        src = ctx.create_buffer(src_host.shape, transfer_itemsize=1)
+        src.data[...] = src_host
+        dst = ctx.create_buffer((H, W), transfer_itemsize=1)
+        return (up, edge, src, dst, d["mean"], PARAMS, H, W), {"dst": dst}
+
+    return build
+
+
+class TestFusedKernel:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_scalar_matches_unfused_chain(self, stage_data, mode, padded):
+        spec = make_sharpness_fused_spec(padded=padded)
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, _fused_args(stage_data, padded),
+                       mode=mode)
+        assert_allclose(out["dst"], stage_data["final"], atol=1e-9,
+                        context=f"fused scalar {mode} padded={padded}")
+
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    def test_vector_matches_unfused_chain(self, stage_data, mode):
+        spec = make_sharpness_fused_spec(padded=True, vector=True)
+        gsz, lsz = grid2d(W // 4, H)
+        out = run_spec(spec, gsz, lsz, _fused_args(stage_data, True),
+                       mode=mode)
+        assert_allclose(out["dst"], stage_data["final"], atol=1e-9,
+                        context=f"fused vector {mode}")
+
+    def test_vector_requires_padding(self):
+        with pytest.raises(ConfigError):
+            make_sharpness_fused_spec(padded=False, vector=True)
+
+    def test_fusion_saves_intermediate_traffic(self):
+        """The V.B payoff: the fused kernel moves less global memory than
+        the three unfused kernels combined (pError and preliminary live in
+        registers)."""
+        gsz, lsz = (32, 32), (16, 16)
+        fused = make_sharpness_fused_spec(padded=True).cost(
+            W8000, gsz, lsz, ())
+        unfused = [
+            make_prelim_spec().cost(W8000, gsz, lsz, ()),
+            make_overshoot_spec(padded=True).cost(W8000, gsz, lsz, ()),
+        ]
+        # perror kernel traffic would add further to the unfused side.
+        unfused_bytes = sum(
+            c.global_bytes_read + c.global_bytes_written for c in unfused
+        )
+        fused_bytes = fused.global_bytes_read + fused.global_bytes_written
+        assert fused_bytes < unfused_bytes
+
+    def test_zero_mean_image(self):
+        """Flat image: strength map collapses to zero, fused kernel must
+        reproduce the clamped upscale."""
+        plane = np.full((H, W), 50.0)
+        d = {
+            "plane": plane,
+            "up": algo.upscale(algo.downscale(plane)),
+            "edge": algo.sobel(plane),
+            "mean": 0.0,
+        }
+        spec = make_sharpness_fused_spec(padded=True)
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, _fused_args(d, True),
+                       mode="emulate")
+        assert_allclose(out["dst"], plane, atol=1e-9,
+                        context="flat image fused")

@@ -1,0 +1,89 @@
+"""Sobel kernel variants: scalar, padded, vectorized."""
+
+import pytest
+
+from repro.algo import stages as algo
+from repro.errors import ConfigError
+from repro.kernels import make_sobel_spec
+from repro.simgpu.device import W8000
+
+from .conftest import assert_allclose
+from .kernel_helpers import grid2d, make_padded, run_spec
+
+H = W = 32
+
+
+@pytest.fixture(scope="module")
+def plane():
+    from repro.util import images
+    return images.natural_like(H, W, seed=9)
+
+
+def _args(plane, padded):
+    src_host = make_padded(plane) if padded else plane
+
+    def build(ctx):
+        src = ctx.create_buffer(src_host.shape, transfer_itemsize=1)
+        src.data[...] = src_host
+        dst = ctx.create_buffer((H, W), transfer_itemsize=4)
+        return (src, dst, H, W), {"dst": dst}
+
+    return build
+
+
+class TestSobelVariants:
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_scalar_matches_algo(self, plane, mode, padded):
+        spec = make_sobel_spec(padded=padded)
+        gsz, lsz = grid2d(W, H)
+        out = run_spec(spec, gsz, lsz, _args(plane, padded), mode=mode)
+        assert_allclose(out["dst"], algo.sobel(plane), atol=1e-9,
+                        context=f"sobel scalar {mode} padded={padded}")
+
+    @pytest.mark.parametrize("mode", ["functional", "emulate"])
+    def test_vector_matches_algo(self, plane, mode):
+        spec = make_sobel_spec(padded=True, vector=True)
+        gsz, lsz = grid2d(W // 4, H)
+        out = run_spec(spec, gsz, lsz, _args(plane, True), mode=mode)
+        assert_allclose(out["dst"], algo.sobel(plane), atol=1e-9,
+                        context=f"sobel vector {mode}")
+
+    def test_vector_requires_padding(self):
+        with pytest.raises(ConfigError, match="padding"):
+            make_sobel_spec(padded=False, vector=True)
+
+    def test_vector_on_checkerboard(self):
+        """Dense edges: every lane takes the non-trivial path."""
+        from repro.util import images
+        board = images.checkerboard(H, W, cell=2)
+        spec = make_sobel_spec(padded=True, vector=True)
+        gsz, lsz = grid2d(W // 4, H)
+        out = run_spec(spec, gsz, lsz, _args(board, True), mode="emulate")
+        assert_allclose(out["dst"], algo.sobel(board), atol=1e-9,
+                        context="sobel vector checkerboard")
+
+
+class TestSobelCosts:
+    def test_unpadded_is_divergent(self):
+        assert make_sobel_spec(padded=False).cost(
+            W8000, (32, 32), (16, 16), ()).divergent
+
+    def test_padded_removes_divergence(self):
+        assert not make_sobel_spec(padded=True).cost(
+            W8000, (32, 32), (16, 16), ()).divergent
+
+    def test_vector_halves_read_traffic(self):
+        """Fig. 11: 18 loads per 4 outputs instead of 4 x 8."""
+        scalar = make_sobel_spec(padded=True)
+        vector = make_sobel_spec(padded=True, vector=True)
+        c_s = scalar.cost(W8000, (64, 64), (16, 16), ())
+        c_v = vector.cost(W8000, (16, 64), (16, 16), ())
+        assert c_v.global_bytes_read < 0.7 * c_s.global_bytes_read
+        # Same output pixels -> same write traffic:
+        assert c_v.global_bytes_written == c_s.global_bytes_written
+
+    def test_builtins_flag_propagates(self):
+        c = make_sobel_spec(padded=True, builtins=True).cost(
+            W8000, (32, 32), (16, 16), ())
+        assert c.uses_builtins

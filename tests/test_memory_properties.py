@@ -1,0 +1,78 @@
+"""Property-based tests for the checked-memory layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GlobalMemoryError
+from repro.simgpu.memory import CheckedArray, GlobalBuffer
+from repro.types import Image
+
+
+class TestCheckedArrayProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_in_bounds_roundtrip(self, h, w, data):
+        arr = CheckedArray(np.zeros((h, w)))
+        i = data.draw(st.integers(min_value=0, max_value=h - 1))
+        j = data.draw(st.integers(min_value=0, max_value=w - 1))
+        v = data.draw(st.floats(min_value=-1e6, max_value=1e6))
+        arr[i, j] = v
+        assert arr[i, j] == v
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_index_matches_row_major(self, h, w, k):
+        data = np.arange(float(h * w)).reshape(h, w)
+        arr = CheckedArray(data)
+        if 0 <= k < h * w:
+            assert arr[k] == data[k // w, k % w]
+        else:
+            with pytest.raises(GlobalMemoryError):
+                arr[k]
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers())
+    @settings(max_examples=40, deadline=None)
+    def test_1d_bounds(self, n, i):
+        arr = CheckedArray(np.zeros(n))
+        if 0 <= i < n:
+            arr[i]
+        else:
+            with pytest.raises(GlobalMemoryError):
+                arr[i]
+
+
+class TestNonContiguousInputs:
+    def test_image_from_transposed_view(self, rng):
+        base = rng.uniform(0, 255, (32, 64))
+        view = base.T  # non-contiguous
+        img = Image.from_array(view)
+        assert img.shape == (64, 32)
+        assert np.array_equal(img.plane, np.ascontiguousarray(view))
+
+    def test_image_from_strided_view(self, rng):
+        base = rng.uniform(0, 255, (64, 64))
+        view = base[::2, ::2]  # strided, 32x32
+        img = Image.from_array(view)
+        assert img.shape == (32, 32)
+
+    def test_buffer_write_from_view(self, rng):
+        buf = GlobalBuffer((16, 16))
+        base = rng.uniform(0, 1, (32, 32))
+        buf.write(base[::2, ::2])
+        assert np.array_equal(buf.data, base[::2, ::2])
+
+    def test_pipeline_accepts_fortran_order(self, rng):
+        from repro.core import OPTIMIZED, GPUPipeline
+        from repro.algo import stages as algo
+
+        plane = np.asfortranarray(rng.uniform(0, 255, (32, 32)))
+        res = GPUPipeline(OPTIMIZED).run(plane)
+        expected = algo.sharpen(np.ascontiguousarray(plane))["final"]
+        assert np.allclose(res.final, expected, atol=1e-9)

@@ -1,0 +1,116 @@
+"""Device portability: flag checks, retuning, cross-device behaviour."""
+
+import pytest
+
+from repro.core import BASE, OPTIMIZED, GPUPipeline
+from repro.core.portability import (
+    check_flags,
+    device_tuning_summary,
+    retune,
+)
+from repro.errors import ConfigError
+from repro.experiments import portability
+from repro.simgpu.device import EMBEDDED, W8000, WARP32
+from repro.types import Image
+from repro.util import images
+
+
+class TestCheckFlags:
+    def test_w8000_optimized_is_clean(self):
+        assert check_flags(OPTIMIZED, W8000) == []
+
+    def test_warp32_unrolled_reduction_flagged(self):
+        warnings = check_flags(OPTIMIZED, WARP32)
+        assert any("lock-step" in w for w in warnings)
+
+    def test_plain_tree_is_fine_everywhere(self):
+        flags = OPTIMIZED.with_(reduction_unroll=0)
+        for device in (W8000, WARP32, EMBEDDED):
+            assert not any("lock-step" in w
+                           for w in check_flags(flags, device))
+
+    def test_embedded_border_threshold_flagged(self):
+        warnings = check_flags(OPTIMIZED, EMBEDDED)
+        assert any("border" in w for w in warnings)
+
+    def test_base_flags_make_no_device_assumptions(self):
+        assert not any("lock-step" in w for w in check_flags(BASE, WARP32))
+
+
+class TestRetune:
+    def test_drops_unroll_on_narrow_wavefront(self):
+        safe = retune(OPTIMIZED, WARP32)
+        assert safe.reduction_unroll == 0
+        assert safe.vectorize == OPTIMIZED.vectorize  # everything else kept
+
+    def test_noop_on_w8000(self):
+        assert retune(OPTIMIZED, W8000) == OPTIMIZED
+
+
+class TestPipelineGuard:
+    def test_unrolled_reduction_rejected_on_warp32(self):
+        with pytest.raises(ConfigError, match="wavefront"):
+            GPUPipeline(OPTIMIZED, device=WARP32)
+
+    def test_retuned_flags_run_and_match(self):
+        plane = images.natural_like(64, 64, seed=19)
+        ref = GPUPipeline(OPTIMIZED).run(Image.from_array(plane)).final
+        for device in (WARP32, EMBEDDED):
+            res = GPUPipeline(retune(OPTIMIZED, device),
+                              device=device).run(Image.from_array(plane))
+            assert res.final == pytest.approx(ref, abs=1e-9)
+
+    def test_cpu_reduction_flags_allowed_anywhere(self):
+        GPUPipeline(BASE, device=WARP32)  # reduction on CPU: no hazard
+
+
+class TestTuningSummary:
+    def test_w8000_values(self):
+        t = device_tuning_summary(W8000)
+        assert t["border_crossover_side"] == 768.0
+        assert t["unrolled_reduction_valid"] == 1.0
+
+    def test_warp32_unrolled_invalid(self):
+        assert device_tuning_summary(WARP32)[
+            "unrolled_reduction_valid"] == 0.0
+
+    def test_embedded_map_always_wins(self):
+        """Unified memory: mapped access beats explicit copies at every
+        size (infinite crossover)."""
+        t = device_tuning_summary(EMBEDDED)
+        assert t["transfer_crossover_bytes"] == float("inf")
+
+    def test_embedded_border_crossover_much_higher(self):
+        cheap_link = device_tuning_summary(EMBEDDED)
+        w8000 = device_tuning_summary(W8000)
+        assert cheap_link["border_crossover_side"] > \
+            2 * w8000["border_crossover_side"]
+
+
+class TestPortabilityExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return portability.run(size=512)
+
+    def test_every_device_benefits_from_the_ladder(self, rows):
+        for device in {r.device for r in rows}:
+            final = [r for r in rows if r.device == device][-1]
+            assert final.step == "+others"
+            assert final.speedup_vs_base > 1.0
+
+    def test_warp32_steps_marked_retuned(self, rows):
+        warp_rows = [r for r in rows if "Warp-32" in r.device]
+        retuned = [r for r in warp_rows if r.retuned]
+        assert retuned, "GPU-reduction steps must be retuned on warp-32"
+        for r in retuned:
+            assert r.step in ("+reduction", "+vector+border", "+others")
+
+    def test_report_renders(self, rows):
+        text = portability.report(rows)
+        assert "INVALID" in text
+        assert "Handheld" in text
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["portability"]) == 0
+        assert "Portability" in capsys.readouterr().out

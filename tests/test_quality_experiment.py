@@ -1,0 +1,63 @@
+"""The quality study: preset/workload shape assertions."""
+
+import pytest
+
+from repro.core import OPTIMIZED, GPUPipeline
+from repro.experiments import quality
+from repro.types import SharpnessParams
+from repro.util.metrics import sharpness_report
+from repro.experiments.runner import make_image
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return quality.run(size=128, workloads=("natural", "checker"))
+
+
+class TestQualityStudy:
+    def test_rows_cover_grid(self, rows):
+        assert len(rows) == 2 * len(quality.PRESETS)
+
+    def test_edge_gain_monotone_in_gain(self):
+        """At fixed overshoot, more gain means more edge energy."""
+        image = make_image(128, "natural")
+        gains = (0.5, 1.0, 2.0, 3.5)
+        measured = []
+        for g in gains:
+            params = SharpnessParams(gain=g, gamma=0.5, strength_max=8.0,
+                                     overshoot=1.0)
+            res = GPUPipeline(OPTIMIZED, params).run(image)
+            measured.append(
+                sharpness_report(image.plane, res.final)["edge_gain"])
+        assert measured == sorted(measured)
+
+    def test_ringing_free_has_zero_halos(self, rows):
+        for r in rows:
+            if r.preset == "ringing-free":
+                assert r.overshoot_fraction == 0.0
+
+    def test_aggressive_more_halos_than_mild(self, rows):
+        by = {(r.workload, r.preset): r for r in rows}
+        for workload in ("natural", "checker"):
+            assert by[(workload, "aggressive")].overshoot_fraction >= \
+                by[(workload, "mild")].overshoot_fraction
+
+    def test_fidelity_falls_as_sharpening_strengthens(self):
+        image = make_image(128, "natural")
+        psnrs = []
+        for g in (0.5, 1.5, 3.0):
+            params = SharpnessParams(gain=g, strength_max=8.0,
+                                     overshoot=1.0)
+            res = GPUPipeline(OPTIMIZED, params).run(image)
+            psnrs.append(sharpness_report(image.plane, res.final)["psnr"])
+        assert psnrs == sorted(psnrs, reverse=True)
+
+    def test_report_renders(self, rows):
+        text = quality.report(rows)
+        assert "Quality study" in text
+        assert "ringing-free" in text
+
+    def test_cli(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["quality"]) == 0
+        assert "Quality" in capsys.readouterr().out

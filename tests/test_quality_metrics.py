@@ -1,0 +1,133 @@
+"""Image-quality metrics and their interaction with the pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algo import stages as algo
+from repro.errors import ValidationError
+from repro.types import SharpnessParams
+from repro.util import images
+from repro.util.metrics import (
+    edge_energy,
+    edge_gain,
+    mse,
+    overshoot_fraction,
+    psnr,
+    sharpness_report,
+    ssim,
+)
+
+
+@pytest.fixture(scope="module")
+def plane():
+    return images.natural_like(64, 64, seed=17)
+
+
+class TestFidelityMetrics:
+    def test_identical_images(self, plane):
+        assert mse(plane, plane) == 0.0
+        assert psnr(plane, plane) == float("inf")
+        assert ssim(plane, plane) == pytest.approx(1.0)
+
+    def test_mse_known_value(self):
+        a = np.zeros((16, 16))
+        b = np.full((16, 16), 2.0)
+        assert mse(a, b) == 4.0
+
+    def test_psnr_known_value(self):
+        a = np.zeros((16, 16))
+        b = np.full((16, 16), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)  # worst case
+
+    def test_psnr_monotone_in_noise(self, plane, rng):
+        small = np.clip(plane + rng.normal(0, 1, plane.shape), 0, 255)
+        large = np.clip(plane + rng.normal(0, 10, plane.shape), 0, 255)
+        assert psnr(plane, small) > psnr(plane, large)
+
+    def test_ssim_degrades_with_noise(self, plane, rng):
+        noisy = np.clip(plane + rng.normal(0, 25, plane.shape), 0, 255)
+        assert ssim(plane, noisy) < ssim(plane, plane)
+
+    def test_ssim_bounded(self, plane, rng):
+        other = rng.uniform(0, 255, plane.shape)
+        value = ssim(plane, other)
+        assert -1.0 <= value <= 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            mse(np.zeros((8, 8)), np.zeros((8, 9)))
+
+    def test_ssim_window_check(self):
+        with pytest.raises(ValidationError, match="window"):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestEdgeMetrics:
+    def test_flat_image_zero_energy(self):
+        assert edge_energy(np.full((32, 32), 128.0)) == 0.0
+
+    def test_edge_gain_flat_baseline(self):
+        flat = np.full((32, 32), 128.0)
+        assert edge_gain(flat, flat) == 1.0
+        sharp = flat.copy()
+        sharp[10:20, 10:20] = 250.0
+        assert edge_gain(flat, sharp) == float("inf")
+
+    def test_blur_reduces_edge_energy(self, plane):
+        down = algo.downscale(plane)
+        up = algo.upscale(down)
+        assert edge_gain(plane, up) < 1.0
+
+    def test_sharpen_increases_edge_energy_vs_blur(self, plane):
+        out = algo.sharpen(plane)
+        assert edge_gain(out["upscaled"], out["final"]) > 1.0
+
+
+class TestOvershootFraction:
+    def test_original_has_none(self, plane):
+        assert overshoot_fraction(plane, plane) == 0.0
+
+    def test_overshoot_zero_suppresses_halos(self, plane):
+        params = SharpnessParams(gain=3.0, strength_max=8.0, overshoot=0.0)
+        final = algo.sharpen(plane, params)["final"]
+        assert overshoot_fraction(plane, final) == 0.0
+
+    def test_full_overshoot_allows_halos(self):
+        board = images.checkerboard(64, 64, cell=8)
+        hard = SharpnessParams(gain=3.0, strength_max=8.0, overshoot=1.0)
+        soft = SharpnessParams(gain=3.0, strength_max=8.0, overshoot=0.0)
+        f_hard = algo.sharpen(board, hard)["final"]
+        f_soft = algo.sharpen(board, soft)["final"]
+        assert overshoot_fraction(board, f_hard) >= \
+            overshoot_fraction(board, f_soft)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_fraction_in_unit_interval(self, osc, seed):
+        plane = np.random.default_rng(seed).uniform(0, 255, (32, 32))
+        params = SharpnessParams(gain=2.0, overshoot=osc)
+        final = algo.sharpen(plane, params)["final"]
+        frac = overshoot_fraction(plane, final)
+        assert 0.0 <= frac <= 1.0
+
+
+class TestReport:
+    def test_all_keys_present(self, plane):
+        final = algo.sharpen(plane)["final"]
+        report = sharpness_report(plane, final)
+        assert set(report) == {"psnr", "ssim", "edge_gain",
+                               "overshoot_fraction", "rms_change"}
+
+    def test_monotone_story(self, plane):
+        """Stronger sharpening: lower fidelity, higher edge gain."""
+        mild = algo.sharpen(plane, SharpnessParams(gain=0.5))["final"]
+        strong = algo.sharpen(
+            plane, SharpnessParams(gain=3.0, strength_max=8.0,
+                                   overshoot=1.0))["final"]
+        r_mild = sharpness_report(plane, mild)
+        r_strong = sharpness_report(plane, strong)
+        assert r_strong["edge_gain"] >= r_mild["edge_gain"]
+        assert r_strong["psnr"] <= r_mild["psnr"]

@@ -1,0 +1,216 @@
+"""Emulator race detection: the epoch model and the production kernels."""
+
+import numpy as np
+import pytest
+
+from repro.algo import stages as algo
+from repro.errors import RaceConditionError
+from repro.kernels import (
+    make_downscale_spec,
+    make_reduction_spec,
+    make_sharpness_fused_spec,
+    make_sobel_spec,
+    make_upscale_border_spec,
+    make_upscale_center_spec,
+)
+from repro.kernels.base import round_up
+from repro.kernels.reduction import reduction_layout
+from repro.kernels.upscale_border import BORDER_GLOBAL, BORDER_LOCAL
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import BARRIER, WF_SYNC, run_kernel
+from repro.simgpu.memory import GlobalBuffer
+from repro.types import SharpnessParams
+
+from .kernel_helpers import make_padded
+
+H = W = 32
+
+
+def _grid(nx, ny, tile=16):
+    return (round_up(nx, tile), round_up(ny, tile)), (tile, tile)
+
+
+class TestDetection:
+    def test_write_write_race(self):
+        buf = GlobalBuffer((4,))
+
+        def kernel(ctx, dst):
+            dst[0] = float(ctx.get_local_id(0))
+
+        with pytest.raises(RaceConditionError, match="both write"):
+            run_kernel(kernel, (4,), (4,), (buf.checked(),),
+                       device=W8000, race_check=True)
+
+    def test_read_after_unsynced_write(self):
+        def kernel(ctx, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid)
+            # Missing barrier: reading the (already-written) neighbour's
+            # slot races.
+            _ = scratch[(lid - 1) % 4]
+            yield BARRIER
+
+        with pytest.raises(RaceConditionError, match="reads a value"):
+            run_kernel(kernel, (4,), (4,), (), device=W8000,
+                       local_mem={"scratch": 4}, race_check=True)
+
+    def test_write_after_unsynced_read(self):
+        def kernel(ctx, scratch):
+            lid = ctx.get_local_id(0)
+            _ = scratch[0]
+            if lid == 2:
+                scratch[0] = 1.0  # someone else read it this epoch
+            yield BARRIER
+
+        with pytest.raises(RaceConditionError, match="read in the same"):
+            run_kernel(kernel, (4,), (4,), (), device=W8000,
+                       local_mem={"scratch": 4}, race_check=True)
+
+    def test_barrier_clears_conflict(self):
+        out = GlobalBuffer((4,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid)
+            yield BARRIER
+            dst[lid] = scratch[(lid + 1) % 4]
+
+        run_kernel(kernel, (4,), (4,), (out.checked(),), device=W8000,
+                   local_mem={"scratch": 4}, race_check=True)
+        assert np.array_equal(out.data, [1, 2, 3, 0])
+
+    def test_wf_sync_clears_conflict(self):
+        dev = W8000.with_(wavefront_size=4, max_workgroup_size=4)
+        out = GlobalBuffer((4,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid)
+            yield WF_SYNC
+            dst[lid] = scratch[(lid + 1) % 4]
+
+        run_kernel(kernel, (4,), (4,), (out.checked(),), device=dev,
+                   local_mem={"scratch": 4}, race_check=True)
+
+    def test_same_item_rmw_is_fine(self):
+        buf = GlobalBuffer((8,))
+
+        def kernel(ctx, dst):
+            g = ctx.get_global_id(0)
+            dst[g] = 1.0
+            dst[g] = dst[g] + 1.0
+
+        run_kernel(kernel, (8,), (4,), (buf.checked(),), device=W8000,
+                   race_check=True)
+        assert np.all(buf.data == 2.0)
+
+    def test_groups_tracked_independently(self):
+        """Each group writes the same *local* slot — no cross-group race."""
+        def kernel(ctx, scratch):
+            if ctx.get_local_id(0) == 0:
+                scratch[0] = float(ctx.get_group_id(0))
+            yield BARRIER
+
+        run_kernel(kernel, (8,), (4,), (), device=W8000,
+                   local_mem={"scratch": 4}, race_check=True)
+
+    def test_off_by_default(self):
+        buf = GlobalBuffer((4,))
+
+        def kernel(ctx, dst):
+            dst[0] = float(ctx.get_local_id(0))
+
+        run_kernel(kernel, (4,), (4,), (buf.checked(),), device=W8000)
+
+
+class TestProductionKernelsAreRaceFree:
+    """Every pipeline kernel passes the detector on a small image."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.util import images
+        plane = images.natural_like(H, W, seed=23)
+        down = algo.downscale(plane)
+        up = algo.upscale(down)
+        edge = algo.sobel(plane)
+        return {
+            "plane": plane, "padded": make_padded(plane), "down": down,
+            "up": up, "edge": edge, "mean": algo.reduce_mean(edge),
+        }
+
+    def _run(self, spec, gsz, lsz, args):
+        run_kernel(
+            spec.emulator, gsz, lsz, args, device=W8000,
+            local_mem=spec.local_mem(lsz, args) if spec.local_mem else {},
+            race_check=True,
+        )
+
+    def test_downscale(self, data):
+        src = GlobalBuffer((H + 2, W + 2))
+        src.data[...] = data["padded"]
+        dst = GlobalBuffer((H // 4, W // 4))
+        gsz, lsz = _grid(W // 4, H // 4)
+        spec = make_downscale_spec(padded=True)
+        self._run(spec, gsz, lsz, (src.checked(), dst.checked(), H, W))
+
+    def test_upscale_center_vector(self, data):
+        down = GlobalBuffer(data["down"].shape)
+        down.data[...] = data["down"]
+        up = GlobalBuffer((H, W))
+        gsz, lsz = _grid((W - 4) // 4, (H - 4) // 4)
+        spec = make_upscale_center_spec(vector=True)
+        self._run(spec, gsz, lsz, (down.checked(), up.checked(), H, W))
+
+    def test_upscale_border(self, data):
+        """The ownership split (column items own the border columns) is
+        exactly what makes this kernel race-free; the canonical CPU
+        assembly order would be a write-write race if parallelized
+        naively."""
+        down = GlobalBuffer(data["down"].shape)
+        down.data[...] = data["down"]
+        up = GlobalBuffer((H, W))
+        spec = make_upscale_border_spec()
+        self._run(spec, BORDER_GLOBAL, BORDER_LOCAL,
+                  (down.checked(), up.checked(), H, W))
+
+    def test_sobel_tiled(self, data):
+        src = GlobalBuffer((H + 2, W + 2))
+        src.data[...] = data["padded"]
+        dst = GlobalBuffer((H, W))
+        gsz, lsz = _grid(W, H)
+        spec = make_sobel_spec(padded=True, tiled=True)
+        self._run(spec, gsz, lsz, (src.checked(), dst.checked(), H, W))
+
+    def test_sobel_vector(self, data):
+        src = GlobalBuffer((H + 2, W + 2))
+        src.data[...] = data["padded"]
+        dst = GlobalBuffer((H, W))
+        gsz, lsz = _grid(W // 4, H)
+        spec = make_sobel_spec(padded=True, vector=True)
+        self._run(spec, gsz, lsz, (src.checked(), dst.checked(), H, W))
+
+    def test_sharpness_fused_vector(self, data):
+        up = GlobalBuffer((H, W))
+        up.data[...] = data["up"]
+        edge = GlobalBuffer((H, W))
+        edge.data[...] = data["edge"]
+        src = GlobalBuffer((H + 2, W + 2))
+        src.data[...] = data["padded"]
+        dst = GlobalBuffer((H, W))
+        gsz, lsz = _grid(W // 4, H)
+        spec = make_sharpness_fused_spec(padded=True, vector=True)
+        self._run(spec, gsz, lsz,
+                  (up.checked(), edge.checked(), src.checked(),
+                   dst.checked(), data["mean"], SharpnessParams(), H, W))
+
+    @pytest.mark.parametrize("unroll", [0, 1, 2])
+    def test_reductions(self, rng, unroll):
+        values = rng.uniform(0, 255, 2048)
+        n_groups, gsz, lsz = reduction_layout(values.size)
+        src = GlobalBuffer(values.shape, transfer_itemsize=4)
+        src.data[...] = values
+        partial = GlobalBuffer((n_groups,), transfer_itemsize=4)
+        spec = make_reduction_spec(unroll=unroll)
+        self._run(spec, gsz, lsz,
+                  (src.checked(), partial.checked(), values.size))
+        assert partial.data.sum() == pytest.approx(values.sum(), rel=1e-12)

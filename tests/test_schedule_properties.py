@@ -1,0 +1,105 @@
+"""Property-based tests for the resource scheduler (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgpu.schedule import RESOURCES, ResourceScheduler
+
+
+@st.composite
+def random_dag(draw):
+    """A random op list: durations, resources, and backward-only deps."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for i in range(n):
+        duration = draw(st.floats(min_value=0.0, max_value=10.0))
+        resource = draw(st.sampled_from(RESOURCES))
+        if i == 0:
+            deps = ()
+        else:
+            deps = tuple(draw(st.sets(
+                st.integers(min_value=0, max_value=i - 1), max_size=3)))
+        ops.append((f"op{i}", duration, resource, deps))
+    return ops
+
+
+def _schedule(ops):
+    sched = ResourceScheduler()
+    for name, duration, resource, deps in ops:
+        sched.add(name, "kernel", duration, resource, deps)
+    timeline = sched.schedule()
+    return sched, timeline
+
+
+class TestSchedulerProperties:
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_no_resource_overlap(self, ops):
+        """Two ops on the same exclusive resource never overlap in time."""
+        sched, _ = _schedule(ops)
+        by_resource = {}
+        for op in sched.ops:
+            by_resource.setdefault(op.resource, []).append(op)
+        for res_ops in by_resource.values():
+            intervals = sorted((o.start, o.end) for o in res_ops)
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-12
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_dependencies_respected(self, ops):
+        sched, _ = _schedule(ops)
+        for op in sched.ops:
+            for d in op.deps:
+                assert op.start >= sched.ops[d].end - 1e-12
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, ops):
+        """busiest-resource <= makespan <= serial sum."""
+        sched, timeline = _schedule(ops)
+        total_work = sum(o.duration for o in sched.ops)
+        busiest = max(sched.resource_busy_times().values())
+        assert timeline.total >= busiest - 1e-9
+        assert timeline.total <= total_work + 1e-9
+
+    @given(random_dag())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_at_least_critical_path(self, ops):
+        sched, timeline = _schedule(ops)
+        longest = [0.0] * len(sched.ops)
+        for i, op in enumerate(sched.ops):
+            ready = max((longest[d] for d in op.deps), default=0.0)
+            longest[i] = ready + op.duration
+        critical = max(longest, default=0.0)
+        assert timeline.total >= critical - 1e-9
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_work_conserved(self, ops):
+        sched, timeline = _schedule(ops)
+        assert sum(e.duration for e in timeline.events) == pytest.approx(
+            sum(o.duration for o in sched.ops))
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, ops):
+        _, t1 = _schedule(ops)
+        _, t2 = _schedule(ops)
+        assert [(e.name, e.start, e.end) for e in t1.events] == \
+            [(e.name, e.start, e.end) for e in t2.events]
+
+    @given(random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_serial_chain_equals_sum(self, ops):
+        """Forcing a full chain on one resource serializes exactly."""
+        sched = ResourceScheduler()
+        prev = None
+        total = 0.0
+        for name, duration, _, _ in ops:
+            deps = (prev,) if prev is not None else ()
+            prev = sched.add(name, "kernel", duration, "compute", deps)
+            total += duration
+        timeline = sched.schedule()
+        assert timeline.total == pytest.approx(total)

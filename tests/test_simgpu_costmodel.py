@@ -1,0 +1,171 @@
+"""Cost model: roofline behaviour, utilization, barriers, CPU stages."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simgpu.costmodel import (
+    CpuStageCost,
+    KernelCost,
+    cpu_stage_time,
+    flop_equivalents,
+    kernel_breakdown,
+    kernel_time,
+)
+from repro.simgpu.device import GIGA, I5_3470, W8000
+from repro.simgpu.scheduler import (
+    parallel_utilization,
+    tail_factor,
+    wavefronts_for,
+)
+
+
+def _cost(**kw):
+    base = dict(work_items=1 << 20, n_groups=4096, workgroup_size=256)
+    base.update(kw)
+    return KernelCost(**base)
+
+
+class TestKernelCost:
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            _cost(flops=-1.0)
+        with pytest.raises(ValidationError):
+            _cost(global_bytes_read=-1.0)
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelCost(work_items=0)
+
+
+class TestFlopEquivalents:
+    def test_heavy_ops_weighted(self):
+        c = _cost(flops=100.0, heavy_ops=10.0)
+        expected = 100.0 + 10.0 * W8000.heavy_op_flops
+        assert flop_equivalents(c, W8000) == expected
+
+    def test_builtins_cheapen_heavy_and_int_ops(self):
+        slow = _cost(flops=0.0, heavy_ops=10.0, slow_int_ops=10.0)
+        fast = _cost(flops=0.0, heavy_ops=10.0, slow_int_ops=10.0,
+                     uses_builtins=True)
+        assert flop_equivalents(fast, W8000) < flop_equivalents(slow, W8000)
+
+
+class TestKernelTime:
+    def test_memory_bound_kernel_scales_with_bytes(self):
+        a = _cost(global_bytes_read=1e8)
+        b = _cost(global_bytes_read=2e8)
+        ta = kernel_time(a, W8000) - W8000.launch_overhead_s
+        tb = kernel_time(b, W8000) - W8000.launch_overhead_s
+        assert tb == pytest.approx(2 * ta, rel=1e-9)
+
+    def test_roofline_is_max_not_sum(self):
+        mem = _cost(global_bytes_read=1e9)
+        both = _cost(global_bytes_read=1e9, flops=1.0)
+        assert kernel_time(both, W8000) == kernel_time(mem, W8000)
+
+    def test_divergence_penalizes_compute_only(self):
+        comp = _cost(flops=1e10)
+        div = _cost(flops=1e10, divergent=True)
+        ratio = (kernel_time(div, W8000) - W8000.launch_overhead_s) / (
+            kernel_time(comp, W8000) - W8000.launch_overhead_s
+        )
+        assert ratio == pytest.approx(W8000.divergent_branch_penalty,
+                                      rel=1e-6)
+
+    def test_divergence_does_not_penalize_memory(self):
+        mem = _cost(global_bytes_read=1e9)
+        div = _cost(global_bytes_read=1e9, divergent=True)
+        assert kernel_time(div, W8000) == kernel_time(mem, W8000)
+
+    def test_launch_overhead_included(self):
+        c = _cost(flops=1.0)
+        with_l = kernel_time(c, W8000)
+        without = kernel_time(c, W8000, include_launch=False)
+        assert with_l - without == pytest.approx(W8000.launch_overhead_s)
+
+    def test_extra_barrier_costs_more(self):
+        one = _cost(barriers_per_group=1.0)
+        two = _cost(barriers_per_group=2.0)
+        assert kernel_time(two, W8000) > kernel_time(one, W8000)
+
+    def test_serial_latency_added_verbatim(self):
+        c0 = _cost()
+        c1 = _cost(serial_latency_s=1e-3)
+        assert kernel_time(c1, W8000) - kernel_time(c0, W8000) == \
+            pytest.approx(1e-3)
+
+    def test_small_launch_underutilizes(self):
+        """Same total work, fewer items -> lower utilization -> slower."""
+        big = KernelCost(work_items=1 << 20, global_bytes_read=1e7,
+                         n_groups=4096, workgroup_size=256)
+        small = KernelCost(work_items=256, global_bytes_read=1e7,
+                           n_groups=1, workgroup_size=256)
+        assert kernel_time(small, W8000) > kernel_time(big, W8000)
+
+    def test_breakdown_components(self):
+        c = _cost(flops=1e9, global_bytes_read=1e8, local_bytes=1e7)
+        bd = kernel_breakdown(c, W8000)
+        assert set(bd) == {"compute", "global_mem", "local_mem",
+                           "utilization", "total"}
+        assert bd["total"] == pytest.approx(kernel_time(c, W8000))
+
+
+class TestScheduler:
+    def test_wavefronts_rounding(self):
+        assert wavefronts_for(1, W8000) == 1
+        assert wavefronts_for(64, W8000) == 1
+        assert wavefronts_for(65, W8000) == 2
+
+    def test_utilization_saturates_at_one(self):
+        assert parallel_utilization(10**8, W8000) == 1.0
+
+    def test_utilization_floor(self):
+        assert parallel_utilization(1, W8000) > 0.0
+
+    def test_utilization_monotone(self):
+        us = [parallel_utilization(n, W8000)
+              for n in (64, 1024, 16384, 262144)]
+        assert us == sorted(us)
+
+    def test_invalid_items_rejected(self):
+        with pytest.raises(Exception):
+            parallel_utilization(0, W8000)
+
+    def test_tail_factor_one_for_aligned_grids(self):
+        per_wave = W8000.n_compute_units * 4
+        assert tail_factor(per_wave * 10, W8000) == pytest.approx(1.0)
+
+    def test_tail_factor_large_for_single_group(self):
+        assert tail_factor(1, W8000) == W8000.n_compute_units * 4
+
+
+class TestCpuStageTime:
+    def test_compute_bound(self):
+        c = CpuStageCost(flops=1e9)
+        assert cpu_stage_time(c, I5_3470) == pytest.approx(
+            1e9 / (I5_3470.effective_gflops * GIGA)
+        )
+
+    def test_memory_bound(self):
+        c = CpuStageCost(bytes_read=1e9)
+        assert cpu_stage_time(c, I5_3470) == pytest.approx(
+            1e9 / I5_3470.effective_bandwidth_bps
+        )
+
+    def test_branchy_penalty(self):
+        a = CpuStageCost(flops=1e9)
+        b = CpuStageCost(flops=1e9, branchy=True)
+        assert cpu_stage_time(b, I5_3470) == pytest.approx(
+            cpu_stage_time(a, I5_3470) * I5_3470.branch_penalty
+        )
+
+    def test_heavy_ops_dominate(self):
+        light = CpuStageCost(flops=1e6)
+        heavy = CpuStageCost(heavy_ops=1e6)
+        assert cpu_stage_time(heavy, I5_3470) == pytest.approx(
+            cpu_stage_time(light, I5_3470) * I5_3470.heavy_op_flops
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            CpuStageCost(flops=-1.0)

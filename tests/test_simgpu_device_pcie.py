@@ -1,0 +1,135 @@
+"""Device specs and the PCI-E transfer model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from repro.simgpu.pcie import PCIeSpec
+
+
+class TestDeviceSpec:
+    def test_w8000_matches_table1(self):
+        assert W8000.n_cores == 1792
+        assert W8000.clock_ghz == 0.88
+        assert W8000.peak_gflops == 3230.0
+        assert W8000.mem_bandwidth_gbps == 176.0
+        assert W8000.wavefront_size == 64
+
+    def test_i5_matches_table1(self):
+        assert I5_3470.n_cores == 4
+        assert I5_3470.clock_ghz == 3.2
+        assert I5_3470.peak_gflops == 57.76
+        assert I5_3470.mem_bandwidth_gbps == 25.0
+
+    def test_effective_rates(self):
+        assert W8000.effective_gflops == pytest.approx(
+            W8000.peak_gflops * W8000.compute_efficiency
+        )
+        assert W8000.effective_bandwidth_bps == pytest.approx(
+            W8000.mem_bandwidth_gbps * 1e9 * W8000.mem_efficiency
+        )
+
+    def test_with_replaces_fields(self):
+        d = W8000.with_(wavefront_size=32)
+        assert d.wavefront_size == 32
+        assert W8000.wavefront_size == 64  # original untouched
+
+    def test_invalid_wavefront_rejected(self):
+        with pytest.raises(ValidationError):
+            W8000.with_(wavefront_size=48)
+
+    def test_workgroup_wavefront_multiple_enforced(self):
+        with pytest.raises(ValidationError):
+            W8000.with_(max_workgroup_size=200)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValidationError):
+            W8000.with_(mem_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            W8000.with_(compute_efficiency=1.5)
+
+    def test_cpu_with(self):
+        c = I5_3470.with_(efficiency=0.5)
+        assert isinstance(c, CPUSpec)
+        assert c.effective_gflops == pytest.approx(57.76 * 0.5)
+
+
+class TestPCIe:
+    def test_rw_has_fixed_overhead(self):
+        p = PCIeSpec()
+        assert p.rw_time(0) == p.rw_call_overhead_s
+        assert p.rw_time(1) > p.rw_call_overhead_s
+
+    def test_rw_linear_in_bytes(self):
+        p = PCIeSpec()
+        base = p.rw_time(0)
+        assert p.rw_time(2_000_000) - base == pytest.approx(
+            2 * (p.rw_time(1_000_000) - base), rel=1e-9
+        )
+
+    def test_map_cheaper_for_small(self):
+        p = PCIeSpec()
+        assert p.map_time(64 * 64) < p.rw_time(64 * 64)
+
+    def test_rw_cheaper_for_large(self):
+        p = PCIeSpec()
+        big = 64 * 1024 * 1024
+        assert p.rw_time(big) < p.map_time(big)
+
+    def test_crossover_between_2048_and_4096_images(self):
+        """The paper's transfer switch pays off only at 4096^2 (Fig. 14)."""
+        p = PCIeSpec()
+        assert 2048 * 2048 < p.crossover_bytes() < 4096 * 4096
+
+    def test_crossover_consistent_with_times(self):
+        p = PCIeSpec()
+        b = int(p.crossover_bytes())
+        assert p.map_time(b - 10**5) < p.rw_time(b - 10**5)
+        assert p.rw_time(b + 10**5) < p.map_time(b + 10**5)
+
+    def test_rect_charges_per_row(self):
+        p = PCIeSpec()
+        few = p.rect_time(1_000_000, 10)
+        many = p.rect_time(1_000_000, 1000)
+        assert many > few
+
+    def test_rect_cheaper_than_host_padding_plus_write(self):
+        """Section V.A: padding during the transfer beats padding on the
+        CPU then bulk-writing, for realistic image sizes."""
+        from repro.cpu.cost import padding_host_time
+
+        p = PCIeSpec()
+        for side in (1024, 2048, 4096):
+            nbytes = side * side
+            rect = p.rect_time(nbytes, side)
+            host_pad = padding_host_time(side, side) + p.rw_time(nbytes)
+            assert rect < host_pad, side
+
+    def test_negative_bytes_rejected(self):
+        p = PCIeSpec()
+        with pytest.raises(ValidationError):
+            p.rw_time(-1)
+        with pytest.raises(ValidationError):
+            p.map_time(-1)
+        with pytest.raises(ValidationError):
+            p.rect_time(10, 0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            PCIeSpec(bandwidth_gbps=0.0)
+
+
+class TestDeviceSpecValidation:
+    def test_bad_cu_count(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec(
+                name="x", n_compute_units=0, wavefront_size=64,
+                clock_ghz=1.0, peak_gflops=1.0, mem_bandwidth_gbps=1.0,
+                lds_bandwidth_gbps=1.0, mem_latency_s=1e-7,
+                local_mem_per_cu=1024, max_workgroup_size=64,
+                compute_efficiency=0.5, mem_efficiency=0.5,
+                launch_overhead_s=1e-6, sync_overhead_s=1e-6,
+                barrier_wavefront_s=1e-9, heavy_op_flops=10.0,
+                builtin_heavy_op_flops=5.0, divergent_branch_penalty=2.0,
+                slow_int_op_flops=10.0, fast_int_op_flops=1.0,
+            )

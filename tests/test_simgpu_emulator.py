@@ -1,0 +1,220 @@
+"""The per-work-item emulator: identities, barriers, lock-step semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BarrierDivergenceError, InvalidWorkGroupError
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import BARRIER, WF_SYNC, WorkItemCtx, run_kernel
+from repro.simgpu.memory import GlobalBuffer
+
+
+class TestWorkItemCtx:
+    def test_linear_local_id_2d(self):
+        ctx = WorkItemCtx(global_id=(3, 5), local_id=(3, 1),
+                          group_id=(0, 1), local_size=(4, 4),
+                          global_size=(4, 8))
+        # OpenCL: lid0 + lid1 * ls0
+        assert ctx.local_linear_id == 3 + 1 * 4
+
+    def test_num_groups(self):
+        ctx = WorkItemCtx(global_id=(0, 0), local_id=(0, 0),
+                          group_id=(0, 0), local_size=(4, 4),
+                          global_size=(16, 8))
+        assert ctx.get_num_groups(0) == 4
+        assert ctx.get_num_groups(1) == 2
+
+    def test_wavefront_assignment(self):
+        ctx = WorkItemCtx(global_id=(0, 9), local_id=(0, 9),
+                          group_id=(0, 0), local_size=(16, 16),
+                          global_size=(16, 16))
+        # linear lid = 144 -> wavefront 2 on a 64-wide device
+        assert ctx.wavefront(64) == 2
+
+
+class TestRunKernelBasics:
+    def test_identity_kernel_covers_all_items(self):
+        buf = GlobalBuffer((8, 8))
+
+        def kernel(ctx, dst):
+            dst[ctx.get_global_id(1), ctx.get_global_id(0)] = (
+                ctx.get_global_id(1) * 8 + ctx.get_global_id(0)
+            )
+
+        stats = run_kernel(kernel, (8, 8), (4, 4), (buf.checked(),),
+                           device=W8000)
+        assert stats.n_groups == 4
+        assert stats.n_work_items == 64
+        assert np.array_equal(buf.data,
+                              np.arange(64.0).reshape(8, 8))
+
+    def test_group_ids_consistent(self):
+        buf = GlobalBuffer((4, 8))
+
+        def kernel(ctx, dst):
+            dst[ctx.get_global_id(1), ctx.get_global_id(0)] = (
+                ctx.get_group_id(0) + 10 * ctx.get_group_id(1)
+            )
+
+        run_kernel(kernel, (8, 4), (4, 4), (buf.checked(),), device=W8000)
+        assert np.all(buf.data[:4, :4] == buf.data[0, 0])
+        assert buf.data[0, 4] == buf.data[0, 0] + 1
+
+    def test_invalid_local_size_rejected(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(InvalidWorkGroupError, match="divisible"):
+            run_kernel(kernel, (10,), (4,), (), device=W8000)
+
+    def test_workgroup_limit_enforced(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(InvalidWorkGroupError, match="limit|exceeds"):
+            run_kernel(kernel, (1024,), (512,), (), device=W8000)
+
+    def test_rank_mismatch_rejected(self):
+        def kernel(ctx):
+            pass
+
+        with pytest.raises(InvalidWorkGroupError):
+            run_kernel(kernel, (8, 8), (4,), (), device=W8000)
+
+
+class TestBarriers:
+    def test_barrier_orders_local_memory(self):
+        """Classic two-phase pattern: all items write, barrier, all read a
+        neighbour's slot.  Without the barrier release logic this would read
+        unwritten values."""
+        out = GlobalBuffer((16,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid * 2)
+            yield BARRIER
+            dst[ctx.get_global_id(0)] = scratch[(lid + 1) % 16]
+
+        stats = run_kernel(kernel, (16,), (16,), (out.checked(),),
+                           device=W8000, local_mem={"scratch": 16})
+        expected = [((i + 1) % 16) * 2 for i in range(16)]
+        assert np.array_equal(out.data, expected)
+        assert stats.barrier_releases == 1
+
+    def test_divergent_barrier_detected(self):
+        def kernel(ctx):
+            if ctx.get_local_id(0) < 8:
+                yield BARRIER
+
+        with pytest.raises(BarrierDivergenceError):
+            run_kernel(kernel, (16,), (16,), (), device=W8000)
+
+    def test_unequal_barrier_counts_detected(self):
+        def kernel(ctx):
+            yield BARRIER
+            if ctx.get_local_id(0) == 0:
+                yield BARRIER
+
+        with pytest.raises(BarrierDivergenceError):
+            run_kernel(kernel, (16,), (16,), (), device=W8000)
+
+    def test_barriers_are_per_group(self):
+        """Groups execute independently; barriers never span groups."""
+        out = GlobalBuffer((8,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(ctx.get_group_id(0))
+            yield BARRIER
+            dst[ctx.get_global_id(0)] = scratch[(lid + 1) % 4]
+
+        stats = run_kernel(kernel, (8,), (4,), (out.checked(),),
+                           device=W8000, local_mem={"scratch": 4})
+        assert stats.barrier_releases == 2  # one per group
+        assert np.array_equal(out.data, [0, 0, 0, 0, 1, 1, 1, 1])
+
+    def test_local_memory_isolated_between_groups(self):
+        """A group must never observe another group's local writes."""
+        out = GlobalBuffer((8,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            if lid == 0:
+                # Fresh allocation: must read as zero even though group 0
+                # wrote 99 into its own scratch.
+                dst[ctx.get_global_id(0)] = scratch[1]
+                scratch[1] = 99.0
+            yield BARRIER
+
+        run_kernel(kernel, (8,), (4,), (out.checked(),), device=W8000,
+                   local_mem={"scratch": 4})
+        assert np.all(out.data[::4] == 0.0)
+
+
+class TestWavefrontSync:
+    def test_wf_sync_within_wavefront(self):
+        """Items of one wavefront see each other's writes across WF_SYNC."""
+        dev = W8000.with_(wavefront_size=8, max_workgroup_size=8)
+        out = GlobalBuffer((8,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid)
+            yield WF_SYNC
+            dst[lid] = scratch[(lid + 1) % 8]
+
+        run_kernel(kernel, (8,), (8,), (out.checked(),), device=dev,
+                   local_mem={"scratch": 8})
+        assert np.array_equal(out.data, [(i + 1) % 8 for i in range(8)])
+
+    def test_wf_sync_does_not_span_wavefronts(self):
+        """The hazard the paper's unrolled kernels rely on avoiding: WF_SYNC
+        is NOT a workgroup barrier.  Wavefront 0 runs to completion before
+        wavefront 1 starts, so reading wavefront 1's slot yields the stale
+        (zero) value."""
+        dev = W8000.with_(wavefront_size=4, max_workgroup_size=8)
+        out = GlobalBuffer((8,))
+
+        def kernel(ctx, dst, scratch):
+            lid = ctx.get_local_id(0)
+            scratch[lid] = float(lid + 1)
+            yield WF_SYNC
+            dst[lid] = scratch[(lid + 4) % 8]
+
+        run_kernel(kernel, (8,), (8,), (out.checked(),), device=dev,
+                   local_mem={"scratch": 8})
+        # Wavefront 0 (lids 0-3) reads slots 4-7 before wavefront 1 wrote
+        # them -> zeros.  Wavefront 1 reads slots 0-3 after wavefront 0 -> ok.
+        assert np.array_equal(out.data[:4], [0, 0, 0, 0])
+        assert np.array_equal(out.data[4:], [1, 2, 3, 4])
+
+    def test_mixed_sync_points_detected(self):
+        def kernel(ctx):
+            if ctx.get_local_id(0) < 32:
+                yield BARRIER
+            else:
+                yield WF_SYNC
+
+        with pytest.raises(BarrierDivergenceError):
+            run_kernel(kernel, (64,), (64,), (), device=W8000)
+
+
+class TestStats:
+    def test_local_mem_bytes_reported(self):
+        def kernel(ctx, scratch):
+            yield BARRIER
+
+        stats = run_kernel(kernel, (64,), (64,), (), device=W8000,
+                           local_mem={"scratch": 128})
+        assert stats.local_mem_bytes == 128 * 4
+
+    def test_plain_function_kernels_supported(self):
+        out = GlobalBuffer((4,))
+
+        def kernel(ctx, dst):
+            dst[ctx.get_global_id(0)] = 1.0
+
+        stats = run_kernel(kernel, (4,), (4,), (out.checked(),),
+                           device=W8000)
+        assert stats.barrier_releases == 0
+        assert np.all(out.data == 1.0)

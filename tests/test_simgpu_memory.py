@@ -1,0 +1,131 @@
+"""Device memory: checked arrays, global buffers, local memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GlobalMemoryError,
+    InvalidBufferError,
+    LocalMemoryError,
+)
+from repro.simgpu.memory import CheckedArray, GlobalBuffer, LocalMemory
+
+
+class TestCheckedArray:
+    def test_read_write(self):
+        arr = CheckedArray(np.zeros((4, 4)))
+        arr[2, 3] = 7.5
+        assert arr[2, 3] == 7.5
+
+    def test_negative_index_is_fault(self):
+        arr = CheckedArray(np.zeros((4, 4)))
+        with pytest.raises(GlobalMemoryError, match="out of bounds"):
+            arr[-1, 0]
+
+    def test_overflow_index_is_fault(self):
+        arr = CheckedArray(np.zeros((4, 4)))
+        with pytest.raises(GlobalMemoryError):
+            arr[0, 4]
+
+    def test_wrong_arity_is_fault(self):
+        arr = CheckedArray(np.zeros((4, 4, 4)))
+        with pytest.raises(GlobalMemoryError, match="indices"):
+            arr[0, 0]
+
+    def test_linear_index_into_2d(self):
+        """OpenCL buffers are flat: one index = row-major linear address."""
+        data = np.arange(12.0).reshape(3, 4)
+        arr = CheckedArray(data)
+        assert arr[5] == 5.0
+        arr[11] = 99.0
+        assert data[2, 3] == 99.0
+
+    def test_linear_index_bounds(self):
+        arr = CheckedArray(np.zeros((3, 4)))
+        with pytest.raises(GlobalMemoryError, match="linear"):
+            arr[12]
+        with pytest.raises(GlobalMemoryError, match="linear"):
+            arr[-1]
+
+    def test_1d_indexing(self):
+        arr = CheckedArray(np.arange(5.0))
+        assert arr[4] == 4.0
+        with pytest.raises(GlobalMemoryError):
+            arr[5]
+
+    def test_shape_and_len(self):
+        arr = CheckedArray(np.zeros((3, 4)))
+        assert arr.shape == (3, 4)
+        assert arr.size == 12
+        assert len(arr) == 3
+
+
+class TestGlobalBuffer:
+    def test_write_read_roundtrip(self, rng):
+        buf = GlobalBuffer((4, 4))
+        host = rng.uniform(0, 1, (4, 4))
+        buf.write(host)
+        out = buf.read()
+        assert np.array_equal(out, host)
+        out[0, 0] = -1  # read returns a copy
+        assert buf.data[0, 0] == host[0, 0]
+
+    def test_transfer_nbytes_u8(self):
+        buf = GlobalBuffer((8, 8), transfer_itemsize=1)
+        assert buf.nbytes == 64
+
+    def test_transfer_nbytes_default_dtype(self):
+        buf = GlobalBuffer((8, 8))  # float64 backing
+        assert buf.nbytes == 8 * 8 * 8
+
+    def test_shape_mismatch_rejected(self):
+        buf = GlobalBuffer((4, 4))
+        with pytest.raises(InvalidBufferError, match="shape"):
+            buf.write(np.zeros((4, 5)))
+
+    def test_use_after_release(self):
+        buf = GlobalBuffer((4, 4))
+        buf.release()
+        with pytest.raises(InvalidBufferError, match="release"):
+            buf.read()
+        with pytest.raises(InvalidBufferError, match="release"):
+            buf.write(np.zeros((4, 4)))
+        with pytest.raises(InvalidBufferError, match="release"):
+            buf.checked()
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(InvalidBufferError):
+            GlobalBuffer((0, 4))
+
+    def test_checked_view_aliases_data(self):
+        buf = GlobalBuffer((2, 2))
+        view = buf.checked()
+        view[1, 1] = 5.0
+        assert buf.data[1, 1] == 5.0
+
+    def test_names_unique(self):
+        a, b = GlobalBuffer((2, 2)), GlobalBuffer((2, 2))
+        assert a.name != b.name
+
+
+class TestLocalMemory:
+    def test_read_write(self):
+        lm = LocalMemory(16, capacity_bytes=1024)
+        lm[3] = 2.5
+        assert lm[3] == 2.5
+        assert len(lm) == 16
+
+    def test_capacity_enforced(self):
+        with pytest.raises(LocalMemoryError, match="bytes"):
+            LocalMemory(1024, capacity_bytes=1024, itemsize=4)
+
+    def test_bounds_fault(self):
+        lm = LocalMemory(8, capacity_bytes=1024)
+        with pytest.raises(LocalMemoryError):
+            lm[8]
+        with pytest.raises(LocalMemoryError):
+            lm[-1]
+
+    def test_invalid_size(self):
+        with pytest.raises(LocalMemoryError):
+            LocalMemory(0, capacity_bytes=1024)

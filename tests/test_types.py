@@ -1,0 +1,132 @@
+"""Tests for repro.types: Image validation, params, stage-time breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.types import (
+    FLOAT,
+    Image,
+    SharpnessParams,
+    StageTimes,
+    validate_plane,
+)
+
+
+class TestValidatePlane:
+    def test_accepts_valid_plane(self):
+        out = validate_plane(np.zeros((16, 32)))
+        assert out.dtype == FLOAT
+        assert out.shape == (16, 32)
+
+    def test_returns_copy(self):
+        src = np.zeros((16, 16))
+        out = validate_plane(src)
+        out[0, 0] = 42.0
+        assert src[0, 0] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            validate_plane(np.zeros(64))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            validate_plane(np.zeros((16, 16, 3)))
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValidationError, match=">= 16"):
+            validate_plane(np.zeros((8, 16)))
+
+    def test_rejects_non_multiple_of_four(self):
+        with pytest.raises(ValidationError, match="divisible by 4"):
+            validate_plane(np.zeros((18, 16)))
+
+    def test_rejects_negative_values(self):
+        plane = np.zeros((16, 16))
+        plane[3, 3] = -1.0
+        with pytest.raises(ValidationError, match=r"\[0, 255\]"):
+            validate_plane(plane)
+
+    def test_rejects_above_255(self):
+        plane = np.zeros((16, 16))
+        plane[3, 3] = 255.5
+        with pytest.raises(ValidationError, match=r"\[0, 255\]"):
+            validate_plane(plane)
+
+    def test_rejects_nan(self):
+        plane = np.zeros((16, 16))
+        plane[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            validate_plane(plane)
+
+    def test_accepts_uint8_input(self):
+        out = validate_plane(np.full((16, 16), 255, dtype=np.uint8))
+        assert out.max() == 255.0
+
+
+class TestImage:
+    def test_properties(self):
+        img = Image.from_array(np.zeros((16, 32)))
+        assert img.height == 16
+        assert img.width == 32
+        assert img.shape == (16, 32)
+        assert img.nbytes_u8 == 16 * 32
+
+    def test_to_u8_rounds_and_clips(self):
+        plane = np.full((16, 16), 100.6)
+        img = Image.from_array(plane)
+        u8 = img.to_u8()
+        assert u8.dtype == np.uint8
+        assert int(u8[0, 0]) == 101
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValidationError):
+            Image.from_array(np.zeros((15, 16)))
+
+
+class TestSharpnessParams:
+    def test_defaults_valid(self):
+        p = SharpnessParams()
+        assert p.gain > 0 and 0 <= p.overshoot <= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"gain": -0.1},
+        {"gamma": 0.0},
+        {"gamma": -1.0},
+        {"strength_max": 0.0},
+        {"overshoot": -0.01},
+        {"overshoot": 1.01},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            SharpnessParams(**kwargs)
+
+
+class TestStageTimes:
+    def test_add_accumulates(self):
+        st = StageTimes()
+        st.add("a", 1.0)
+        st.add("a", 2.0)
+        st.add("b", 3.0)
+        assert st.times == {"a": 3.0, "b": 3.0}
+        assert st.total == 6.0
+
+    def test_fractions_sum_to_one(self):
+        st = StageTimes()
+        st.add("a", 1.0)
+        st.add("b", 3.0)
+        fr = st.fractions()
+        assert abs(sum(fr.values()) - 1.0) < 1e-12
+        assert fr["b"] == 0.75
+
+    def test_fractions_of_empty(self):
+        assert StageTimes().fractions() == {}
+
+    def test_merged_renames(self):
+        st = StageTimes()
+        st.add("perror", 1.0)
+        st.add("overshoot", 2.0)
+        st.add("sobel", 4.0)
+        merged = st.merged({"perror": "sharpness", "overshoot": "sharpness"})
+        assert merged.times == {"sharpness": 3.0, "sobel": 4.0}
+        assert merged.total == st.total
