@@ -24,6 +24,8 @@ Packages:
 * :mod:`repro.cl` — OpenCL-flavoured host API over the simulator;
 * :mod:`repro.kernels` — the device kernels, base and optimized variants;
 * :mod:`repro.core` — the optimized pipeline and the optimization ladder;
+* :mod:`repro.obs` — structured logging, metrics registry and tracing
+  (pass a :class:`~repro.obs.RunContext` as ``obs=`` to either pipeline);
 * :mod:`repro.experiments` — per-table/figure reproduction harness.
 """
 
@@ -38,6 +40,7 @@ from .core import (
 )
 from .cpu import CPUPipeline, CPUResult
 from .errors import ReproError, ValidationError
+from .obs import MetricsRegistry, RunContext
 from .simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from .types import Image, SharpnessParams
 
@@ -53,6 +56,8 @@ __all__ = [
     "OptimizationFlags",
     "CPUPipeline",
     "CPUResult",
+    "MetricsRegistry",
+    "RunContext",
     "ReproError",
     "ValidationError",
     "CPUSpec",

@@ -4,7 +4,15 @@ Usage::
 
     python -m repro sharpen input.pgm output.pgm --preset crisp
     python -m repro sharpen photo.ppm out.ppm --pipeline gpu --report
+    python -m repro sharpen in.pgm out.pgm --log-level debug \
+        --trace-out run.json --metrics-out metrics.prom
     python -m repro demo demo.pgm --size 512   # make a synthetic test image
+
+``--trace-out`` writes a Chrome/Perfetto-loadable trace containing the host
+spans *and* the simulated device timeline; ``--metrics-out`` writes the
+run's metrics registry (per-stage duration histograms, transfer/kernel
+counters) in the Prometheus text format; ``--log-level debug`` streams one
+structured logfmt record per enqueued command to stderr.
 
 PGM inputs are treated as brightness planes; PPM inputs are converted to
 YCbCr, the luma plane is sharpened, and chroma is passed through.
@@ -23,6 +31,7 @@ from .algo.color import sharpen_rgb
 from .core import BASE, OPTIMIZED, GPUPipeline
 from .cpu import CPUPipeline
 from .errors import ReproError
+from .obs import LEVELS, RunContext
 from .types import Image, SharpnessParams
 from .util import images as synth
 from .util.io import read_pgm, read_ppm, write_pgm, write_ppm
@@ -48,13 +57,25 @@ def _build_params(args) -> SharpnessParams:
     return params
 
 
+def _make_obs(args) -> RunContext:
+    """Build the run's observability context from the CLI flags."""
+    obs = RunContext.create(
+        log_level=args.log_level, log_format=args.log_format,
+        meta={"pipeline": args.pipeline, "preset": args.preset,
+              "input": str(args.input)},
+    )
+    obs.log.info("run.start", pipeline=args.pipeline, preset=args.preset,
+                 input=str(args.input), output=str(args.output))
+    return obs
+
+
 def _make_luma_runner(pipeline: str, params: SharpnessParams,
-                      report: bool):
+                      report: bool, obs: RunContext):
     if pipeline == "cpu":
-        pipe = CPUPipeline(params)
+        pipe = CPUPipeline(params, obs=obs)
     else:
         flags = BASE if pipeline == "gpu-base" else OPTIMIZED
-        pipe = GPUPipeline(flags, params)
+        pipe = GPUPipeline(flags, params, obs=obs, label=pipeline)
 
     def run(plane: np.ndarray) -> np.ndarray:
         res = pipe.run(Image.from_array(plane))
@@ -74,20 +95,30 @@ def _make_luma_runner(pipeline: str, params: SharpnessParams,
 def cmd_sharpen(args) -> int:
     src = pathlib.Path(args.input)
     params = _build_params(args)
-    runner = _make_luma_runner(args.pipeline, params, args.report)
+    obs = _make_obs(args)
+    runner = _make_luma_runner(args.pipeline, params, args.report, obs)
 
     suffix = src.suffix.lower()
-    if suffix == ".ppm":
-        rgb = read_ppm(src)
-        out = sharpen_rgb(rgb, params, luma_sharpener=runner)
-        write_ppm(args.output, out)
-    elif suffix == ".pgm":
-        plane = read_pgm(src)
-        write_pgm(args.output, runner(plane))
-    else:
-        raise ReproError(
-            f"unsupported input format {suffix!r}; use .pgm or .ppm"
-        )
+    with obs.span("cli.sharpen", input=str(src), format=suffix):
+        if suffix == ".ppm":
+            rgb = read_ppm(src)
+            out = sharpen_rgb(rgb, params, luma_sharpener=runner)
+            write_ppm(args.output, out)
+        elif suffix == ".pgm":
+            plane = read_pgm(src)
+            write_pgm(args.output, runner(plane))
+        else:
+            raise ReproError(
+                f"unsupported input format {suffix!r}; use .pgm or .ppm"
+            )
+    if args.trace_out:
+        path = obs.write_trace(args.trace_out)
+        obs.log.info("trace.written", path=str(path))
+        print(f"wrote trace to {path}", file=sys.stderr)
+    if args.metrics_out:
+        path = obs.write_metrics(args.metrics_out)
+        obs.log.info("metrics.written", path=str(path))
+        print(f"wrote metrics to {path}", file=sys.stderr)
     print(f"wrote {args.output}")
     return 0
 
@@ -120,6 +151,20 @@ def main(argv: list[str] | None = None) -> int:
     p_sharpen.add_argument("--overshoot", type=float, default=None)
     p_sharpen.add_argument("--report", action="store_true",
                            help="print the simulated time breakdown")
+    p_sharpen.add_argument("--log-level", dest="log_level",
+                           choices=sorted(LEVELS, key=LEVELS.get),
+                           default="warning",
+                           help="structured-log level on stderr "
+                                "(default: warning)")
+    p_sharpen.add_argument("--log-format", dest="log_format",
+                           choices=("logfmt", "json"), default="logfmt",
+                           help="structured-log record format")
+    p_sharpen.add_argument("--trace-out", dest="trace_out", default=None,
+                           help="write a Chrome/Perfetto trace (host spans "
+                                "+ simulated device events) to this file")
+    p_sharpen.add_argument("--metrics-out", dest="metrics_out", default=None,
+                           help="write the run's metrics registry in "
+                                "Prometheus text format to this file")
     p_sharpen.set_defaults(func=cmd_sharpen)
 
     p_demo = sub.add_parser("demo", help="generate a synthetic test image")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidBufferError, MapError, QueueError
+from ..obs.runctx import NULL_CONTEXT
 from ..simgpu.costmodel import kernel_time
 from ..simgpu.emulator import run_kernel
 from .buffer import Buffer
@@ -32,10 +33,17 @@ from .kernel import Kernel
 
 
 class CommandQueue:
-    """An in-order command queue bound to a context."""
+    """An in-order command queue bound to a context.
 
-    def __init__(self, context) -> None:
+    ``obs`` (a :class:`~repro.obs.RunContext`) makes every enqueued command
+    observable: a debug log line per command, ``repro_cl_commands_total`` /
+    ``repro_cl_transfer_bytes_total`` counters, and a per-kernel simulated
+    duration histogram ``repro_cl_kernel_seconds``.
+    """
+
+    def __init__(self, context, obs=None) -> None:
         self.context = context
+        self.obs = obs or NULL_CONTEXT
         self._released = False
         self._pending_maps: dict[int, tuple[Buffer, np.ndarray, str]] = {}
 
@@ -55,6 +63,23 @@ class CommandQueue:
     def _record(self, name: str, kind: str, duration: float,
                 stage: str) -> None:
         self.context.timeline.record(name, kind, duration, stage=stage)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "repro_cl_commands_total", "Enqueued commands by kind",
+                ("kind",),
+            ).labels(kind=kind).inc()
+            self.obs.log.debug(
+                "cl.cmd", name=name, kind=kind, stage=stage,
+                sim_us=duration * 1e6,
+            )
+
+    def _note_transfer(self, direction: str, nbytes: int) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "repro_cl_transfer_bytes_total",
+                "Host<->device bytes moved over the simulated PCI-E link",
+                ("direction",),
+            ).labels(direction=direction).inc(nbytes)
 
     def release(self) -> None:
         self._released = True
@@ -68,6 +93,7 @@ class CommandQueue:
         self._check_buffer(buf)
         buf.mem.write(np.asarray(host))
         duration = self.context.device.pcie.rw_time(buf.nbytes)
+        self._note_transfer("h2d", buf.nbytes)
         self._record(f"write:{buf.name}", "transfer", duration, stage)
 
     def enqueue_read_buffer(self, buf: Buffer,
@@ -77,6 +103,7 @@ class CommandQueue:
         self._check_buffer(buf)
         host = buf.mem.read()
         duration = self.context.device.pcie.rw_time(buf.nbytes)
+        self._note_transfer("d2h", buf.nbytes)
         self._record(f"read:{buf.name}", "transfer", duration, stage)
         return host
 
@@ -97,6 +124,7 @@ class CommandQueue:
         n_elements = nbytes // buf.mem.transfer_itemsize
         host = buf.mem.read().ravel()[:n_elements].copy()
         duration = self.context.device.pcie.rw_time(nbytes)
+        self._note_transfer("d2h", nbytes)
         self._record(f"read-part:{buf.name}", "transfer", duration, stage)
         return host
 
@@ -119,6 +147,7 @@ class CommandQueue:
             self._pending_maps[id(buf)] = (buf, staging, stage)
             return staging
         duration = self.context.device.pcie.map_time(buf.nbytes)
+        self._note_transfer("d2h", buf.nbytes)
         self._record(f"map-read:{buf.name}", "transfer", duration, stage)
         self._pending_maps[id(buf)] = (buf, None, stage)
         return buf.mem.read()
@@ -137,6 +166,7 @@ class CommandQueue:
             source = mapped if mapped is not None else staging
             buf.mem.write(np.asarray(source))
             duration = self.context.device.pcie.map_time(buf.nbytes)
+            self._note_transfer("h2d", buf.nbytes)
             self._record(
                 f"unmap-write:{buf.name}", "transfer", duration,
                 stage if stage != "transfer" else map_stage,
@@ -171,6 +201,7 @@ class CommandQueue:
         buf.data[r0:r0 + rows, c0:c0 + cols] = host
         nbytes = host.size * buf.mem.transfer_itemsize
         duration = self.context.device.pcie.rect_time(nbytes, rows)
+        self._note_transfer("h2d", nbytes)
         self._record(f"write-rect:{buf.name}", "transfer", duration, stage)
 
     # -- kernel launch ----------------------------------------------------------
@@ -207,10 +238,17 @@ class CommandQueue:
             run_kernel(
                 spec.emulator, global_size, local_size,
                 kernel.emulator_args(), device=device, local_mem=local_decl,
+                obs=self.obs,
             )
         else:
             spec.functional(global_size, local_size,
                             *kernel.functional_args())
+        if self.obs.enabled:
+            self.obs.metrics.histogram(
+                "repro_cl_kernel_seconds",
+                "Simulated kernel duration per dispatched kernel (seconds)",
+                ("kernel",),
+            ).labels(kernel=kernel.name).observe(duration)
         self._record(
             f"kernel:{kernel.name}", "kernel", duration,
             stage or kernel.name,

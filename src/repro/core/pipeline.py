@@ -27,13 +27,14 @@ from ..algo import stages as algo
 from ..kernels.base import round_up
 from ..kernels.reduction import GROUP_SPAN, reduction_layout
 from ..kernels.upscale_border import BORDER_GLOBAL, BORDER_LOCAL
+from ..obs.runctx import NULL_CONTEXT, RunContext
 from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from ..simgpu.profiling import Timeline
 from ..types import Image, SharpnessParams, StageTimes
 from . import heuristics
 from .config import OPTIMIZED, OptimizationFlags
 from .fusion import build_kernel_set
-from .metrics import stage_times_from_timeline
+from .metrics import GPU_STAGE_ORDER, stage_times_from_timeline
 from .transfer import TransferPlanner
 
 #: Workgroup tile for 2-D pixel kernels (16x16 = 256 = the W8000 limit).
@@ -84,13 +85,23 @@ class GPUPipeline:
         images only).
     keep_intermediates:
         Retain intermediate device buffers on the result.
+    obs:
+        Optional :class:`~repro.obs.RunContext`.  When given, every run
+        emits host spans per stage, merges the simulated device timeline
+        into the trace, and records per-stage duration histograms
+        (``repro_stage_seconds``) plus transfer/kernel counters.
+    label:
+        Pipeline label used in metrics and logs (``"gpu"`` by default;
+        experiments use e.g. ``"base"`` / ``"optimized"``).
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
                  params: SharpnessParams | None = None,
                  device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470,
                  *, mode: str = "functional",
-                 keep_intermediates: bool = False) -> None:
+                 keep_intermediates: bool = False,
+                 obs: RunContext | None = None,
+                 label: str = "gpu") -> None:
         from ..errors import ConfigError
         from ..kernels.reduction import KERNEL_WAVEFRONT
 
@@ -108,6 +119,8 @@ class GPUPipeline:
         self.cpu = cpu
         self.mode = mode
         self.keep_intermediates = keep_intermediates
+        self.obs = obs or NULL_CONTEXT
+        self.label = label
 
     # -- helpers -------------------------------------------------------------
 
@@ -123,15 +136,44 @@ class GPUPipeline:
     def run(self, image: Image | np.ndarray) -> GPUResult:
         if not isinstance(image, Image):
             image = Image.from_array(np.asarray(image))
+        obs = self.obs
+        with obs.trace.span("gpu.run", pipeline=self.label,
+                            h=image.height, w=image.width, mode=self.mode):
+            result = self._run_instrumented(image, obs)
+        obs.observe_stages(self.label, result.times.times,
+                           declare=GPU_STAGE_ORDER)
+        obs.record_run(self.label, result.total_time)
+        if obs.enabled:
+            obs.trace.merge_timeline(
+                result.timeline,
+                label=f"{self.device.name} [{self.label}]",
+            )
+            obs.log.info(
+                "pipeline.complete", pipeline=self.label,
+                h=image.height, w=image.width,
+                simulated_ms=result.total_time * 1e3,
+                kernel_launches=result.kernel_launches,
+                border_on_gpu=result.border_ran_on_gpu,
+                reduction_stage2_on_gpu=result.reduction_stage2_on_gpu,
+            )
+        return result
+
+    def _run_instrumented(self, image: Image, obs) -> GPUResult:
         flags = self.flags
         plane = image.plane
         h, w = plane.shape
         n = h * w
 
         ctx = Context(self.device, self.mode)
-        queue = CommandQueue(ctx)
+        queue = CommandQueue(ctx, obs=obs)
         planner = TransferPlanner(queue, flags.transfer_mode, self.cpu)
         kernels = build_kernel_set(flags)
+        if obs.enabled:
+            obs.log.debug(
+                "pipeline.start", pipeline=self.label, h=h, w=w,
+                mode=self.mode, kernels=",".join(sorted(kernels)),
+                transfer_mode=flags.transfer_mode,
+            )
 
         # ---- buffers --------------------------------------------------------
         padded_buf = ctx.create_buffer((h + 2, w + 2), transfer_itemsize=1,
@@ -149,90 +191,102 @@ class GPUPipeline:
                                       name="final")
 
         # ---- data init (section V.A) ----------------------------------------
-        planner.upload_padded(padded_buf, plane,
-                              pad_on_transfer=flags.pad_on_transfer,
-                              stage="data_init")
-        if src_buf is not None:
-            planner.upload(src_buf, plane, stage="data_init")
+        with obs.trace.span("gpu.data_init"):
+            planner.upload_padded(padded_buf, plane,
+                                  pad_on_transfer=flags.pad_on_transfer,
+                                  stage="data_init")
+            if src_buf is not None:
+                planner.upload(src_buf, plane, stage="data_init")
         src_for_kernels = padded_buf if flags.transfer_padded_only else src_buf
 
         # ---- downscale -------------------------------------------------------
-        gsz, lsz = _grid2d(w // 4, h // 4)
-        self._launch(queue, kernels["downscale"],
-                     (src_for_kernels, down_buf, h, w), gsz, lsz, "downscale")
+        with obs.trace.span("gpu.downscale"):
+            gsz, lsz = _grid2d(w // 4, h // 4)
+            self._launch(queue, kernels["downscale"],
+                         (src_for_kernels, down_buf, h, w), gsz, lsz,
+                         "downscale")
 
         # ---- upscale border (section V.E) ------------------------------------
         border_gpu = heuristics.border_on_gpu(flags, h, w)
-        if border_gpu:
-            self._launch(queue, kernels["border"],
-                         (down_buf, up_buf, h, w),
-                         BORDER_GLOBAL, BORDER_LOCAL, "border")
-        else:
-            # CPU path: download the downscaled matrix, build the border on
-            # the host, upload the upscaled buffer (border populated, body
-            # still zero) — the transfers the paper calls a huge cost.
-            down_host = planner.download(down_buf, stage="border")
-            queue.host_step("border_host",
-                            border_host_time(h, w, self.cpu), stage="border")
-            up_host = np.zeros((h, w), dtype=np.float64)
-            algo.upscale_border_apply(up_host, down_host)
-            planner.upload(up_buf, up_host, stage="border")
+        with obs.trace.span("gpu.border", on_gpu=border_gpu):
+            if border_gpu:
+                self._launch(queue, kernels["border"],
+                             (down_buf, up_buf, h, w),
+                             BORDER_GLOBAL, BORDER_LOCAL, "border")
+            else:
+                # CPU path: download the downscaled matrix, build the border
+                # on the host, upload the upscaled buffer (border populated,
+                # body still zero) — the transfers the paper calls a huge
+                # cost.
+                down_host = planner.download(down_buf, stage="border")
+                queue.host_step("border_host",
+                                border_host_time(h, w, self.cpu),
+                                stage="border")
+                up_host = np.zeros((h, w), dtype=np.float64)
+                algo.upscale_border_apply(up_host, down_host)
+                planner.upload(up_buf, up_host, stage="border")
 
         # ---- upscale center ---------------------------------------------------
-        if flags.vectorize:
-            gsz, lsz = _grid2d((w - 4) // 4, (h - 4) // 4)
-        else:
-            gsz, lsz = _grid2d(w - 4, h - 4)
-        self._launch(queue, kernels["center"], (down_buf, up_buf, h, w),
-                     gsz, lsz, "center")
+        with obs.trace.span("gpu.center"):
+            if flags.vectorize:
+                gsz, lsz = _grid2d((w - 4) // 4, (h - 4) // 4)
+            else:
+                gsz, lsz = _grid2d(w - 4, h - 4)
+            self._launch(queue, kernels["center"], (down_buf, up_buf, h, w),
+                         gsz, lsz, "center")
 
         # ---- Sobel -------------------------------------------------------------
-        if flags.vectorize:
-            gsz, lsz = _grid2d(round_up(w, 4) // 4, h)
-        else:
-            gsz, lsz = _grid2d(w, h)
-        self._launch(queue, kernels["sobel"],
-                     (src_for_kernels, pedge_buf, h, w), gsz, lsz, "sobel")
-
-        # ---- reduction (section V.C) -------------------------------------------
-        edge_mean, stage2_gpu = self._reduce(ctx, queue, planner, kernels,
-                                             pedge_buf, n)
-
-        # ---- sharpness tail (section V.B) ---------------------------------------
-        if flags.fuse_sharpness:
+        with obs.trace.span("gpu.sobel"):
             if flags.vectorize:
                 gsz, lsz = _grid2d(round_up(w, 4) // 4, h)
             else:
                 gsz, lsz = _grid2d(w, h)
-            self._launch(
-                queue, kernels["sharpness"],
-                (up_buf, pedge_buf, src_for_kernels, final_buf, edge_mean,
-                 self.params, h, w),
-                gsz, lsz, "sharpness",
-            )
-        else:
-            perror_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
-                                           name="perror")
-            prelim_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
-                                           name="prelim")
-            gsz, lsz = _grid2d(w, h)
-            self._launch(queue, kernels["perror"],
-                         (src_for_kernels, up_buf, perror_buf, h, w),
-                         gsz, lsz, "perror")
-            self._launch(
-                queue, kernels["prelim"],
-                (up_buf, pedge_buf, perror_buf, prelim_buf, edge_mean,
-                 self.params, h, w),
-                gsz, lsz, "prelim",
-            )
-            self._launch(
-                queue, kernels["overshoot"],
-                (prelim_buf, padded_buf, final_buf, self.params, h, w),
-                gsz, lsz, "overshoot",
-            )
+            self._launch(queue, kernels["sobel"],
+                         (src_for_kernels, pedge_buf, h, w), gsz, lsz,
+                         "sobel")
+
+        # ---- reduction (section V.C) -------------------------------------------
+        with obs.trace.span("gpu.reduction"):
+            edge_mean, stage2_gpu = self._reduce(ctx, queue, planner,
+                                                 kernels, pedge_buf, n)
+
+        # ---- sharpness tail (section V.B) ---------------------------------------
+        with obs.trace.span("gpu.sharpness", fused=flags.fuse_sharpness):
+            if flags.fuse_sharpness:
+                if flags.vectorize:
+                    gsz, lsz = _grid2d(round_up(w, 4) // 4, h)
+                else:
+                    gsz, lsz = _grid2d(w, h)
+                self._launch(
+                    queue, kernels["sharpness"],
+                    (up_buf, pedge_buf, src_for_kernels, final_buf,
+                     edge_mean, self.params, h, w),
+                    gsz, lsz, "sharpness",
+                )
+            else:
+                perror_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
+                                               name="perror")
+                prelim_buf = ctx.create_buffer((h, w), transfer_itemsize=4,
+                                               name="prelim")
+                gsz, lsz = _grid2d(w, h)
+                self._launch(queue, kernels["perror"],
+                             (src_for_kernels, up_buf, perror_buf, h, w),
+                             gsz, lsz, "perror")
+                self._launch(
+                    queue, kernels["prelim"],
+                    (up_buf, pedge_buf, perror_buf, prelim_buf, edge_mean,
+                     self.params, h, w),
+                    gsz, lsz, "prelim",
+                )
+                self._launch(
+                    queue, kernels["overshoot"],
+                    (prelim_buf, padded_buf, final_buf, self.params, h, w),
+                    gsz, lsz, "overshoot",
+                )
 
         # ---- readback ------------------------------------------------------------
-        final = planner.download(final_buf, stage="data_init")
+        with obs.trace.span("gpu.readback"):
+            final = planner.download(final_buf, stage="data_init")
 
         intermediates: dict[str, np.ndarray] = {}
         if self.keep_intermediates:

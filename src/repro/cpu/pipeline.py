@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..algo import stages as algo
+from ..obs.runctx import NULL_CONTEXT, RunContext
 from ..simgpu.device import CPUSpec, I5_3470
 from ..types import Image, SharpnessParams, StageTimes
 from . import cost
@@ -46,30 +47,59 @@ class CPUPipeline:
         i5-3470).
     keep_intermediates:
         Retain every intermediate matrix on the result (tests/examples).
+    obs:
+        Optional :class:`~repro.obs.RunContext`.  When given, every stage
+        runs inside a host span and the cost model's per-stage simulated
+        times land in the ``repro_stage_seconds`` histogram under
+        ``pipeline=<label>``.
+    label:
+        Pipeline label used in metrics and logs (defaults to ``"cpu"``).
     """
 
     def __init__(self, params: SharpnessParams | None = None,
                  cpu: CPUSpec = I5_3470, *,
-                 keep_intermediates: bool = False) -> None:
+                 keep_intermediates: bool = False,
+                 obs: RunContext | None = None,
+                 label: str = "cpu") -> None:
         self.params = params or SharpnessParams()
         self.cpu = cpu
         self.keep_intermediates = keep_intermediates
+        self.obs = obs or NULL_CONTEXT
+        self.label = label
 
     def run(self, image: Image | np.ndarray) -> CPUResult:
         if not isinstance(image, Image):
             image = Image.from_array(np.asarray(image))
         src = image.plane
         h, w = src.shape
+        obs = self.obs
         times = cost.stage_times(h, w, self.cpu)
 
-        down = algo.downscale(src)
-        up = algo.upscale(down)
-        err = algo.perror(src, up)
-        edge = algo.sobel(src)
-        edge_mean = algo.reduce_mean(edge)
-        strength = algo.strength_map(edge, edge_mean, self.params)
-        prelim = algo.preliminary_sharpen(up, err, strength)
-        final = algo.overshoot_control(prelim, src, self.params)
+        with obs.trace.span("cpu.run", pipeline=self.label, h=h, w=w):
+            with obs.trace.span("cpu.downscale"):
+                down = algo.downscale(src)
+            with obs.trace.span("cpu.upscale"):
+                up = algo.upscale(down)
+            with obs.trace.span("cpu.perror"):
+                err = algo.perror(src, up)
+            with obs.trace.span("cpu.sobel"):
+                edge = algo.sobel(src)
+            with obs.trace.span("cpu.reduction"):
+                edge_mean = algo.reduce_mean(edge)
+            with obs.trace.span("cpu.strength"):
+                strength = algo.strength_map(edge, edge_mean, self.params)
+                prelim = algo.preliminary_sharpen(up, err, strength)
+            with obs.trace.span("cpu.overshoot"):
+                final = algo.overshoot_control(prelim, src, self.params)
+
+        obs.observe_stages(self.label, times.times,
+                           declare=cost.CPU_STAGE_ORDER)
+        obs.record_run(self.label, times.total)
+        if obs.enabled:
+            obs.log.info(
+                "pipeline.complete", pipeline=self.label, h=h, w=w,
+                simulated_ms=times.total * 1e3,
+            )
 
         intermediates: dict[str, np.ndarray] = {}
         if self.keep_intermediates:

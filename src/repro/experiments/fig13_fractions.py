@@ -15,12 +15,16 @@ Paper results:
 
 from __future__ import annotations
 
-from ..core import BASE, OPTIMIZED, GPUPipeline
 from ..core.metrics import GPU_STAGE_ORDER
 from ..cpu.cost import CPU_STAGE_ORDER, stage_times
 from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from ..util.tables import format_fraction_table
-from .runner import DEFAULT_PARAMS, PAPER_SIZES, make_image
+from .runner import (
+    PAPER_SIZES,
+    experiment_context,
+    make_image,
+    run_pipeline,
+)
 
 VERSIONS = ("cpu", "base", "optimized")
 
@@ -28,17 +32,26 @@ VERSIONS = ("cpu", "base", "optimized")
 def run(version: str, sizes=PAPER_SIZES, workload: str = "natural",
         device: DeviceSpec = W8000,
         cpu: CPUSpec = I5_3470) -> dict[str, dict[str, float]]:
-    """Per-size stage fractions for one pipeline version."""
+    """Per-size stage fractions for one pipeline version.
+
+    Each size runs under its own :class:`~repro.obs.RunContext` and the
+    reported fractions are read back from the metrics registry
+    (``repro_stage_seconds``), so this report and a metrics export of the
+    same run can never disagree.
+    """
     out: dict[str, dict[str, float]] = {}
-    if version == "cpu":
-        for size in sizes:
-            out[f"{size}x{size}"] = stage_times(size, size, cpu).fractions()
-        return out
-    flags = {"base": BASE, "optimized": OPTIMIZED}[version]
-    pipe = GPUPipeline(flags, DEFAULT_PARAMS, device, cpu)
     for size in sizes:
-        res = pipe.run(make_image(size, workload))
-        out[f"{size}x{size}"] = res.times.fractions()
+        obs = experiment_context(f"fig13-{version}-{size}",
+                                 version=version, size=size)
+        if version == "cpu":
+            # The CPU breakdown is a pure cost-model evaluation (no pixels
+            # needed); record it into the registry like a pipeline would.
+            obs.observe_stages("cpu", stage_times(size, size, cpu).times,
+                               declare=CPU_STAGE_ORDER)
+        else:
+            run_pipeline(version, make_image(size, workload),
+                         device=device, cpu=cpu, obs=obs)
+        out[f"{size}x{size}"] = obs.stage_fractions(version)
     return out
 
 

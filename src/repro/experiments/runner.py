@@ -14,6 +14,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs import RunContext
 from ..types import Image, SharpnessParams
 from ..util import images as imgs
 
@@ -45,6 +46,48 @@ def make_image(size: int, workload: str = "natural", seed: int = 0) -> Image:
             f"{sorted(WORKLOADS)}"
         ) from None
     return Image.from_array(gen(size, seed))
+
+
+def experiment_context(experiment: str, **meta) -> RunContext:
+    """A quiet :class:`~repro.obs.RunContext` for one experiment run.
+
+    Experiments run many pipeline invocations back to back, so the logger
+    is set to ``warning`` (per-run info lines would drown the report); the
+    metrics registry and tracer are fully live — fraction reports are
+    computed from the registry, and callers can export the trace/metrics of
+    any experiment run.
+    """
+    return RunContext.create(
+        run_id=experiment, log_level="warning", meta=dict(meta)
+    )
+
+
+def run_pipeline(version: str, image: Image, *,
+                 params: SharpnessParams = DEFAULT_PARAMS,
+                 device=None, cpu=None, obs: RunContext | None = None):
+    """Run one pipeline version (``cpu`` / ``base`` / ``optimized``).
+
+    The pipeline is labelled with ``version`` in the obs sinks, so stage
+    fractions for it can be read back with
+    ``obs.stage_fractions(version)``.  Returns the pipeline result.
+    """
+    from ..core import BASE, OPTIMIZED, GPUPipeline
+    from ..cpu import CPUPipeline
+    from ..simgpu.device import I5_3470, W8000
+
+    device = device or W8000
+    cpu = cpu or I5_3470
+    if version == "cpu":
+        return CPUPipeline(params, cpu, obs=obs, label="cpu").run(image)
+    try:
+        flags = {"base": BASE, "optimized": OPTIMIZED}[version]
+    except KeyError:
+        raise ValidationError(
+            f"unknown pipeline version {version!r}; expected "
+            f"'cpu', 'base' or 'optimized'"
+        ) from None
+    pipe = GPUPipeline(flags, params, device, cpu, obs=obs, label=version)
+    return pipe.run(image)
 
 
 def check_against_cpu(final_gpu: np.ndarray, final_cpu: np.ndarray,

@@ -1,0 +1,60 @@
+"""Unified observability: structured logging, metrics, and tracing.
+
+The three sinks and the :class:`RunContext` that bundles them:
+
+* :mod:`repro.obs.log` — structured, dependency-free logger (logfmt/JSON)
+  with bound run-context fields;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  Prometheus-text and JSON export;
+* :mod:`repro.obs.trace` — nested host spans with Chrome-trace export that
+  can merge simulated :class:`~repro.simgpu.profiling.Timeline` events into
+  the same trace file;
+* :mod:`repro.obs.runctx` — :class:`RunContext` carrying run id, metadata
+  and the three sinks through the CPU and GPU pipelines.
+
+Typical use::
+
+    from repro import GPUPipeline, OPTIMIZED
+    from repro.obs import RunContext
+
+    obs = RunContext.create(log_level="debug")
+    GPUPipeline(OPTIMIZED, obs=obs).run(image)
+    obs.write_trace("run.trace.json")      # host spans + device events
+    obs.write_metrics("metrics.prom")      # per-stage histograms etc.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from .log import LEVELS, Logger, NullLogger
+from .metrics import (
+    DURATION_BUCKETS,
+    HistogramChild,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .runctx import (
+    NULL_CONTEXT,
+    PIPELINE_RUNS,
+    PIPELINE_SECONDS,
+    STAGE_SECONDS,
+    RunContext,
+)
+from .trace import NullTracer, Span, Tracer
+
+__all__ = [
+    "LEVELS",
+    "Logger",
+    "NullLogger",
+    "DURATION_BUCKETS",
+    "HistogramChild",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_CONTEXT",
+    "PIPELINE_RUNS",
+    "PIPELINE_SECONDS",
+    "STAGE_SECONDS",
+    "RunContext",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,163 @@
+"""Structured, dependency-free logging for pipeline runs.
+
+A :class:`Logger` emits one machine-parseable record per call — logfmt by
+default (``ts=... level=info event=pipeline.complete pipeline=gpu ...``) or
+JSON lines — and carries *bound fields* that are repeated on every record,
+so a pipeline can bind its run id, flags and image shape once and every
+downstream message is attributed automatically::
+
+    log = Logger(level="debug").bind(run=ctx.run_id, pipeline="gpu")
+    log.info("pipeline.start", h=1024, w=1024)
+    log.debug("cl.cmd", name="kernel:sobel_vec4", us=412.5)
+
+Records below the configured level are dropped with a single integer
+comparison, and :class:`NullLogger` (used by disabled run contexts) drops
+everything, so instrumented hot paths stay cheap when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, IO, Mapping
+
+from ..errors import ValidationError
+
+#: Numeric thresholds, mirroring the stdlib's.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {v: k for k, v in LEVELS.items()}
+
+#: Output formats.
+FORMAT_LOGFMT = "logfmt"
+FORMAT_JSON = "json"
+
+
+def level_number(level: int | str) -> int:
+    """Normalize a level name or number to its numeric threshold."""
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+        ) from None
+
+
+def _logfmt_value(value: Any) -> str:
+    """Render one logfmt value, quoting only when necessary."""
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    if text == "" or any(c in text for c in ' ="\n'):
+        text = '"' + text.replace("\\", "\\\\").replace('"', '\\"') \
+                         .replace("\n", "\\n") + '"'
+    return text
+
+
+class Logger:
+    """A structured logger bound to a set of context fields.
+
+    Parameters
+    ----------
+    level:
+        Minimum level emitted (name or number).
+    stream:
+        Output stream; defaults to ``sys.stderr`` (resolved at emit time so
+        test harnesses that swap ``sys.stderr`` see the records).
+    fmt:
+        ``"logfmt"`` (default) or ``"json"``.
+    fields:
+        Fields attached to every record.
+    clock:
+        Epoch-seconds source (injectable for deterministic tests).
+    """
+
+    __slots__ = ("threshold", "_stream", "fmt", "fields", "clock")
+
+    def __init__(self, level: int | str = "info",
+                 stream: IO[str] | None = None, fmt: str = FORMAT_LOGFMT,
+                 fields: Mapping[str, Any] | None = None,
+                 clock=time.time) -> None:
+        if fmt not in (FORMAT_LOGFMT, FORMAT_JSON):
+            raise ValidationError(
+                f"unknown log format {fmt!r}; expected "
+                f"{FORMAT_LOGFMT!r} or {FORMAT_JSON!r}"
+            )
+        self.threshold = level_number(level)
+        self._stream = stream
+        self.fmt = fmt
+        self.fields = dict(fields or {})
+        self.clock = clock
+
+    # -- configuration -------------------------------------------------------
+
+    @property
+    def stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def bind(self, **fields: Any) -> "Logger":
+        """Return a child logger with ``fields`` added to every record."""
+        child = Logger.__new__(Logger)
+        child.threshold = self.threshold
+        child._stream = self._stream
+        child.fmt = self.fmt
+        child.fields = {**self.fields, **fields}
+        child.clock = self.clock
+        return child
+
+    def enabled_for(self, level: int | str) -> bool:
+        return level_number(level) >= self.threshold
+
+    # -- emission ------------------------------------------------------------
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        if level < self.threshold:
+            return
+        record = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                time.gmtime(self.clock())) + "Z",
+            "level": _LEVEL_NAMES.get(level, str(level)),
+            "event": event,
+            **self.fields,
+            **fields,
+        }
+        if self.fmt == FORMAT_JSON:
+            line = json.dumps(record, default=str)
+        else:
+            line = " ".join(
+                f"{k}={_logfmt_value(v)}" for k, v in record.items()
+            )
+        self.stream.write(line + "\n")
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log(10, event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(20, event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(30, event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(40, event, **fields)
+
+
+class NullLogger(Logger):
+    """A logger that drops everything (disabled observability)."""
+
+    def __init__(self) -> None:
+        super().__init__(level=1_000_000)
+
+    def bind(self, **fields: Any) -> "NullLogger":
+        return self
+
+    def enabled_for(self, level: int | str) -> bool:
+        return False
+
+    def log(self, level: int, event: str, **fields: Any) -> None:
+        pass

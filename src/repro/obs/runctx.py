@@ -1,0 +1,143 @@
+"""Run context: one run id + the three sinks (log, metrics, trace).
+
+A :class:`RunContext` is what pipelines and experiments thread through the
+code instead of separate logger/registry/tracer arguments.  It carries the
+run id and static metadata (pipeline flags, image shape) and owns the three
+sinks, plus the stage-metric conventions shared by every pipeline:
+
+* ``repro_stage_seconds{pipeline,stage}`` — per-stage simulated duration
+  histogram (the Fig. 13 raw material);
+* ``repro_pipeline_runs_total{pipeline}`` / ``repro_pipeline_simulated_
+  seconds{pipeline}`` — run counts and end-to-end simulated times.
+
+``RunContext.disabled()`` (the module's :data:`NULL_CONTEXT`) swaps every
+sink for a no-op implementation, so instrumented code paths cost almost
+nothing when the caller did not ask for observability — the
+``benchmarks/bench_obs_overhead.py`` benchmark holds this to <5%.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import uuid
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Mapping
+
+from .log import Logger, NullLogger
+from .metrics import DURATION_BUCKETS, MetricsRegistry
+from .trace import NullTracer, Tracer
+
+#: Metric names shared by every pipeline.
+STAGE_SECONDS = "repro_stage_seconds"
+PIPELINE_RUNS = "repro_pipeline_runs_total"
+PIPELINE_SECONDS = "repro_pipeline_simulated_seconds"
+
+
+@dataclass
+class RunContext:
+    """One run's identity, metadata and observability sinks."""
+
+    run_id: str
+    log: Logger
+    metrics: MetricsRegistry
+    trace: Tracer
+    meta: dict[str, Any] = field(default_factory=dict)
+    enabled: bool = True
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def create(cls, run_id: str | None = None, *,
+               log_level: int | str = "info",
+               log_stream: IO[str] | None = None,
+               log_format: str = "logfmt",
+               meta: Mapping[str, Any] | None = None) -> "RunContext":
+        """Build an enabled context with fresh sinks."""
+        run_id = run_id or uuid.uuid4().hex[:12]
+        log = Logger(level=log_level, stream=log_stream,
+                     fmt=log_format).bind(run=run_id)
+        return cls(run_id=run_id, log=log, metrics=MetricsRegistry(),
+                   trace=Tracer(), meta=dict(meta or {}))
+
+    @classmethod
+    def disabled(cls) -> "RunContext":
+        """A context whose sinks all drop their input."""
+        return cls(run_id="disabled", log=NullLogger(),
+                   metrics=MetricsRegistry(), trace=NullTracer(),
+                   enabled=False)
+
+    # -- conveniences --------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        return self.trace.span(name, **attrs)
+
+    def stage_histogram(self):
+        """The shared per-stage duration histogram family."""
+        return self.metrics.histogram(
+            STAGE_SECONDS,
+            "Simulated duration per pipeline stage (seconds)",
+            ("pipeline", "stage"),
+            buckets=DURATION_BUCKETS,
+        )
+
+    def observe_stages(self, pipeline: str,
+                       stage_seconds: Mapping[str, float],
+                       declare: Iterable[str] = ()) -> None:
+        """Record one run's per-stage simulated times.
+
+        ``declare`` names stages that must *exist* in the export even when
+        this run never executed them (e.g. ``padding`` under
+        pad-on-transfer); they get an empty histogram series rather than a
+        misleading 0-second observation.
+        """
+        if not self.enabled:
+            return
+        hist = self.stage_histogram()
+        for stage in declare:
+            hist.labels(pipeline=pipeline, stage=stage)
+        for stage, seconds in stage_seconds.items():
+            hist.labels(pipeline=pipeline, stage=stage).observe(seconds)
+
+    def record_run(self, pipeline: str, simulated_seconds: float) -> None:
+        """Count a completed pipeline run and its end-to-end time."""
+        if not self.enabled:
+            return
+        self.metrics.counter(
+            PIPELINE_RUNS, "Completed pipeline runs", ("pipeline",)
+        ).labels(pipeline=pipeline).inc()
+        self.metrics.histogram(
+            PIPELINE_SECONDS, "End-to-end simulated pipeline time (seconds)",
+            ("pipeline",), buckets=DURATION_BUCKETS,
+        ).labels(pipeline=pipeline).observe(simulated_seconds)
+
+    def stage_fractions(self, pipeline: str) -> dict[str, float]:
+        """Per-stage share of total time, computed from the registry.
+
+        This is the metrics-registry-backed path behind the Fig.-13-style
+        fraction reports: it aggregates the ``repro_stage_seconds`` sums,
+        so a report and a metrics scrape can never disagree.
+        """
+        family = self.metrics.get(STAGE_SECONDS)
+        if family is None:
+            return {}
+        sums = {
+            child.labels["stage"]: child.sum
+            for child in family.children
+            if child.labels.get("pipeline") == pipeline and child.count
+        }
+        total = sum(sums.values())
+        if total <= 0:
+            return {stage: 0.0 for stage in sums}
+        return {stage: s / total for stage, s in sums.items()}
+
+    # -- export --------------------------------------------------------------
+
+    def write_trace(self, path: str | pathlib.Path) -> pathlib.Path:
+        return self.trace.write_chrome_trace(path)
+
+    def write_metrics(self, path: str | pathlib.Path) -> pathlib.Path:
+        return self.metrics.write_prometheus(path)
+
+
+#: Shared disabled context used by pipelines when no ``obs=`` was passed.
+NULL_CONTEXT = RunContext.disabled()

@@ -1,0 +1,222 @@
+"""Host-side span tracing with Chrome-trace export and Timeline merging.
+
+A :class:`Tracer` records nested wall-clock spans around host code::
+
+    with tracer.span("gpu.run", pipeline="gpu"):
+        with tracer.span("gpu.sobel"):
+            ...
+
+and exports them in the Chrome trace-event format (open the file at
+https://ui.perfetto.dev or chrome://tracing).  The differentiator is
+:meth:`Tracer.merge_timeline`: a simulated :class:`~repro.simgpu.profiling.
+Timeline` (the device-side record of kernels, DMA transfers and host steps)
+is folded into the *same* trace file as a separate process row, so one
+Perfetto view shows the real host spans next to the simulated device
+activity they caused.
+
+Host spans and simulated events run on different clocks (wall time vs the
+simulator's), which Chrome trace handles naturally: each merged timeline
+gets its own ``pid`` whose clock starts at zero.
+
+All writes are atomic (temp file + rename) and accept ``str`` or
+``pathlib.Path``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ValidationError
+from ..util.io import atomic_write_text
+
+#: pid of the host-span process row in exported traces.
+HOST_PID = 1
+
+#: Chrome-trace row per merged simulated event kind (mirrors
+#: ``repro.simgpu.profiling._TRACE_ROWS``).
+_SIM_ROWS = {"kernel": 1, "transfer": 2, "host": 3, "sync": 4}
+
+
+@dataclass
+class Span:
+    """One completed (or open) host span."""
+
+    name: str
+    start: float  # seconds since tracer epoch
+    end: float | None = None
+    parent: "Span | None" = None
+    depth: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValidationError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span after it was opened."""
+        self.args.update(attrs)
+
+
+class _SpanHandle:
+    """Context manager that closes a span and pops the tracer stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self.span, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Collects nested host spans plus merged simulated timelines."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._merged: list[dict] = []
+        self._next_pid = HOST_PID + 1
+
+    # -- spans ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer was created."""
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span; use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name, start=self.now(), parent=parent,
+            depth=len(self._stack), args=dict(attrs),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span, *, error: bool = False) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ValidationError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        span.end = self.now()
+        if error:
+            span.args.setdefault("error", True)
+
+    # -- merging simulated timelines -----------------------------------------
+
+    def merge_timeline(self, timeline, *, label: str = "simulated device",
+                       pid: int | None = None) -> int:
+        """Fold a simulated ``Timeline`` into this trace as its own process.
+
+        ``timeline`` is anything with an ``events`` list of objects carrying
+        ``name`` / ``kind`` / ``start`` / ``duration`` / ``stage``
+        (duck-typed so :mod:`repro.obs` does not import the simulator).
+        Returns the pid assigned to the merged process row.
+        """
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+        elif pid == HOST_PID:
+            raise ValidationError(
+                f"pid {HOST_PID} is reserved for host spans"
+            )
+        self._merged.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        for kind, tid in _SIM_ROWS.items():
+            self._merged.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": kind},
+            })
+        for e in timeline.events:
+            self._merged.append({
+                "name": e.name,
+                "cat": e.kind,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": pid,
+                "tid": _SIM_ROWS.get(e.kind, 9),
+                "args": {"stage": e.stage},
+            })
+        return pid
+
+    # -- export --------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The whole trace in Chrome trace-event format (dict form)."""
+        events: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": HOST_PID, "tid": 1,
+            "args": {"name": "host"},
+        }]
+        end_fallback = self.now()
+        for span in self.spans:
+            end = span.end if span.end is not None else end_fallback
+            events.append({
+                "name": span.name,
+                "cat": "host",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": HOST_PID,
+                "tid": 1,
+                "args": dict(span.args),
+            })
+        events.extend(self._merged)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Atomically write the trace as Chrome trace JSON."""
+        return atomic_write_text(
+            path, json.dumps(self.chrome_trace(), indent=1)
+        )
+
+
+class _NullSpanHandle:
+    """Shared no-op span handle for :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    @property
+    def span(self) -> "_NullSpanHandle":
+        return self
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (disabled observability)."""
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanHandle:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def merge_timeline(self, timeline, *, label: str = "simulated device",
+                       pid: int | None = None) -> int:
+        return 0

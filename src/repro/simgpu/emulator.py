@@ -252,6 +252,7 @@ def run_kernel(
     local_mem: dict[str, int] | None = None,
     local_itemsize: int = 4,
     race_check: bool = False,
+    obs=None,
 ) -> EmulatedKernelLaunch:
     """Emulate ``kernel_fn`` over the given NDRange on ``device``.
 
@@ -265,6 +266,9 @@ def run_kernel(
     conflicting accesses by different work-items raise
     :class:`~repro.errors.RaceConditionError` (see
     :mod:`repro.simgpu.racecheck` for the epoch model and its limits).
+
+    ``obs`` (a :class:`~repro.obs.RunContext`) records the launch statistics
+    as ``repro_emulator_*`` counters plus one debug log line per launch.
     """
     groups = _validate_ndrange(tuple(global_size), tuple(local_size), device)
     stats = EmulatedKernelLaunch(
@@ -325,4 +329,34 @@ def run_kernel(
             gen = result if inspect.isgenerator(result) else None
             items.append(_Item(ctx, gen, ctx.wavefront(device.wavefront_size)))
         _run_group(items, stats, tracker)
+
+    if obs is not None and obs.enabled:
+        _observe_launch(obs, kernel_fn, stats)
     return stats
+
+
+def _observe_launch(obs, kernel_fn: Callable[..., Any],
+                    stats: EmulatedKernelLaunch) -> None:
+    """Record one emulated launch into an obs RunContext."""
+    counters = (
+        ("repro_emulator_launches_total", "Emulated kernel launches", 1),
+        ("repro_emulator_work_items_total",
+         "Work-items executed by the emulator", stats.n_work_items),
+        ("repro_emulator_barrier_releases_total",
+         "Workgroup barrier releases during emulation",
+         stats.barrier_releases),
+        ("repro_emulator_wf_sync_releases_total",
+         "Wavefront lock-step releases during emulation",
+         stats.wf_sync_releases),
+    )
+    for name, help_text, amount in counters:
+        if amount:
+            obs.metrics.counter(name, help_text).inc(amount)
+    obs.log.debug(
+        "emulator.launch",
+        kernel=getattr(kernel_fn, "__name__", str(kernel_fn)),
+        groups=stats.n_groups, work_items=stats.n_work_items,
+        barrier_releases=stats.barrier_releases,
+        wf_sync_releases=stats.wf_sync_releases,
+        local_mem_bytes=stats.local_mem_bytes,
+    )

@@ -116,10 +116,18 @@ class Timeline:
         return out
 
     def write_chrome_trace(self, path) -> None:
-        """Write the timeline as a Chrome trace JSON file."""
-        with open(path, "w") as fh:
-            json.dump({"traceEvents": self.chrome_trace(),
-                       "displayTimeUnit": "ms"}, fh, indent=1)
+        """Write the timeline as a Chrome trace JSON file.
+
+        Accepts ``str`` or :class:`pathlib.Path`; the write is atomic
+        (temp file + rename) so a crashed run never leaves a truncated
+        trace behind.
+        """
+        from ..util.io import atomic_write_text
+
+        atomic_write_text(path, json.dumps(
+            {"traceEvents": self.chrome_trace(), "displayTimeUnit": "ms"},
+            indent=1,
+        ))
 
     def ascii_gantt(self, width: int = 72) -> str:
         """Render the timeline as a monospace Gantt chart.

@@ -10,12 +10,33 @@ algorithm's native pixel depth.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import re
 
 import numpy as np
 
 from ..errors import ValidationError
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    A crashed or interrupted writer never leaves a truncated file at
+    ``path``: the content lands in a sibling temp file first and is moved
+    into place with :func:`os.replace`, which is atomic on POSIX and
+    Windows.  Accepts ``str`` or :class:`pathlib.Path`; returns the final
+    path.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
 
 _TOKEN = re.compile(rb"(?:\s|^)(?:#[^\n]*\n\s*)*([0-9]+|P[1-6])")
 

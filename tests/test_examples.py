@@ -1,5 +1,6 @@
 """Every example script runs end to end (small arguments, tmp cwd)."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,12 +8,25 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
+
+
+def _subprocess_env() -> dict[str, str]:
+    """Environment with ``src`` on PYTHONPATH so ``import repro`` works
+    in subprocesses regardless of how the test run itself found it."""
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
+    return env
 
 
 def _run(script: str, *args: str, cwd) -> str:
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True, text=True, timeout=300, cwd=cwd,
+        env=_subprocess_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stdout}\n{result.stderr}"
@@ -69,5 +83,6 @@ def test_module_entrypoints(module, args, tmp_path):
     result = subprocess.run(
         [sys.executable, "-m", module, *args],
         capture_output=True, text=True, timeout=120, cwd=tmp_path,
+        env=_subprocess_env(),
     )
     assert result.returncode == 0, result.stderr

@@ -1,0 +1,94 @@
+"""CLI smoke tests: --trace-out / --metrics-out produce parseable files."""
+
+import json
+import re
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.metrics import GPU_STAGE_ORDER
+from repro.util.io import write_pgm
+from repro.util import images
+
+
+@pytest.fixture()
+def demo_pgm(tmp_path):
+    path = tmp_path / "demo.pgm"
+    write_pgm(path, images.text_like(64, 64, seed=1))
+    return path
+
+
+def test_sharpen_writes_trace_and_metrics(tmp_path, demo_pgm, capsys):
+    trace = tmp_path / "run.json"
+    prom = tmp_path / "metrics.prom"
+    rc = main([
+        "sharpen", str(demo_pgm), str(tmp_path / "out.pgm"),
+        "--pipeline", "gpu",
+        "--trace-out", str(trace),
+        "--metrics-out", str(prom),
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "wrote trace" in err and "wrote metrics" in err
+
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    host = [e for e in events if e.get("pid") == 1 and e["ph"] == "X"]
+    device = [e for e in events if e.get("pid", 1) != 1 and e["ph"] == "X"]
+    assert any(e["name"] == "cli.sharpen" for e in host)
+    assert any(e["name"] == "gpu.run" for e in host)
+    assert any(e["name"].startswith("kernel:") for e in device)
+
+    text = prom.read_text()
+    for stage in GPU_STAGE_ORDER:
+        assert re.search(
+            rf'repro_stage_seconds_count\{{pipeline="gpu",'
+            rf'stage="{stage}"\}} \d+', text
+        ), f"missing histogram for stage {stage}"
+    assert "# TYPE repro_stage_seconds histogram" in text
+
+
+def test_sharpen_debug_logging(tmp_path, demo_pgm, capsys):
+    rc = main([
+        "sharpen", str(demo_pgm), str(tmp_path / "out.pgm"),
+        "--pipeline", "gpu-base", "--log-level", "debug",
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "event=cl.cmd" in err
+    assert "event=pipeline.complete" in err
+    assert "pipeline=gpu-base" in err
+
+
+def test_sharpen_json_log_format(tmp_path, demo_pgm, capsys):
+    rc = main([
+        "sharpen", str(demo_pgm), str(tmp_path / "out.pgm"),
+        "--pipeline", "cpu", "--log-level", "info",
+        "--log-format", "json",
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+    records = [json.loads(line) for line in err.splitlines()
+               if line.startswith("{")]
+    assert any(r["event"] == "pipeline.complete" for r in records)
+
+
+def test_sharpen_quiet_by_default(tmp_path, demo_pgm, capsys):
+    rc = main(["sharpen", str(demo_pgm), str(tmp_path / "out.pgm")])
+    assert rc == 0
+    captured = capsys.readouterr()
+    # No structured records unless asked for; stdout unchanged.
+    assert "event=" not in captured.err
+    assert "wrote" in captured.out
+
+
+def test_cpu_pipeline_metrics_out(tmp_path, demo_pgm):
+    prom = tmp_path / "cpu.prom"
+    rc = main([
+        "sharpen", str(demo_pgm), str(tmp_path / "out.pgm"),
+        "--pipeline", "cpu", "--metrics-out", str(prom),
+    ])
+    assert rc == 0
+    text = prom.read_text()
+    assert 'pipeline="cpu"' in text
+    assert "repro_pipeline_runs_total" in text

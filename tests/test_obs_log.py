@@ -1,0 +1,116 @@
+"""Structured logger: levels, binding, formats, null sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import Logger, NullLogger
+
+
+def make_logger(**kw):
+    stream = io.StringIO()
+    kw.setdefault("clock", lambda: 1_700_000_000.0)
+    return Logger(stream=stream, **kw), stream
+
+
+class TestLevels:
+    def test_below_threshold_dropped(self):
+        log, stream = make_logger(level="info")
+        log.debug("hidden")
+        assert stream.getvalue() == ""
+
+    def test_at_and_above_threshold_emitted(self):
+        log, stream = make_logger(level="info")
+        log.info("a")
+        log.error("b")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "level=info" in lines[0]
+        assert "level=error" in lines[1]
+
+    def test_numeric_and_name_levels_agree(self):
+        log, _ = make_logger(level=30)
+        assert log.enabled_for("warning")
+        assert not log.enabled_for("info")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValidationError):
+            Logger(level="loud")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValidationError):
+            Logger(fmt="xml")
+
+
+class TestBinding:
+    def test_bound_fields_on_every_record(self):
+        log, stream = make_logger()
+        child = log.bind(run="r1", pipeline="gpu")
+        child.info("ev1")
+        child.info("ev2")
+        for line in stream.getvalue().splitlines():
+            assert "run=r1" in line
+            assert "pipeline=gpu" in line
+
+    def test_bind_does_not_mutate_parent(self):
+        log, stream = make_logger()
+        log.bind(run="r1")
+        log.info("ev")
+        assert "run=" not in stream.getvalue()
+
+    def test_call_fields_override_bound(self):
+        log, stream = make_logger()
+        log.bind(stage="a").info("ev", stage="b")
+        assert "stage=b" in stream.getvalue()
+        assert "stage=a" not in stream.getvalue()
+
+
+class TestFormats:
+    def test_logfmt_quotes_spaces_and_escapes(self):
+        log, stream = make_logger()
+        log.info("ev", msg='say "hi" now', path="a b")
+        line = stream.getvalue()
+        assert 'msg="say \\"hi\\" now"' in line
+        assert 'path="a b"' in line
+
+    def test_logfmt_newline_escaped(self):
+        log, stream = make_logger()
+        log.info("ev", msg="two\nlines")
+        assert "\n" not in stream.getvalue().rstrip("\n")
+
+    def test_json_records_parse(self):
+        log, stream = make_logger(fmt="json")
+        log.bind(run="r1").info("ev", n=3, f=1.5)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "ev"
+        assert record["run"] == "r1"
+        assert record["n"] == 3
+        assert record["f"] == 1.5
+        assert record["level"] == "info"
+
+    def test_timestamp_iso8601(self):
+        log, stream = make_logger()
+        log.info("ev")
+        assert "ts=2023-11-14T22:13:20Z" in stream.getvalue()
+
+    def test_bool_rendered_lowercase(self):
+        log, stream = make_logger()
+        log.info("ev", ok=True)
+        assert "ok=true" in stream.getvalue()
+
+
+class TestNullLogger:
+    def test_drops_everything(self, capsys):
+        log = NullLogger()
+        log.error("ev", x=1)
+        log.bind(a=1).info("ev")
+        assert capsys.readouterr().err == ""
+
+    def test_enabled_for_nothing(self):
+        assert not NullLogger().enabled_for("error")
+
+    def test_bind_returns_self(self):
+        log = NullLogger()
+        assert log.bind(x=1) is log

@@ -1,0 +1,169 @@
+"""Tracer: span nesting/ordering, Chrome export, Timeline merging."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import NullTracer, Tracer
+from repro.simgpu.profiling import Timeline
+
+
+class FakeClock:
+    """Deterministic monotonically advancing clock."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 0.001
+        return self.t
+
+
+def make_tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestSpans:
+    def test_nesting_parents_and_depth(self):
+        tr = make_tracer()
+        with tr.span("outer"):
+            with tr.span("mid"):
+                with tr.span("inner"):
+                    pass
+            with tr.span("mid2"):
+                pass
+        outer, mid, inner, mid2 = tr.spans
+        assert outer.parent is None and outer.depth == 0
+        assert mid.parent is outer and mid.depth == 1
+        assert inner.parent is mid and inner.depth == 2
+        assert mid2.parent is outer and mid2.depth == 1
+
+    def test_ordering_and_containment(self):
+        tr = make_tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.spans
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert inner.duration >= 0
+
+    def test_span_attrs_and_set(self):
+        tr = make_tracer()
+        with tr.span("s", k=1) as span:
+            span.set(extra="v")
+        assert tr.spans[0].args == {"k": 1, "extra": "v"}
+
+    def test_exception_closes_span_and_marks_error(self):
+        tr = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("s"):
+                raise RuntimeError("boom")
+        span = tr.spans[0]
+        assert span.end is not None
+        assert span.args.get("error") is True
+        # The stack is clean: a new root span has no parent.
+        with tr.span("t"):
+            pass
+        assert tr.spans[1].parent is None
+
+    def test_open_span_duration_raises(self):
+        tr = make_tracer()
+        handle = tr.span("s")
+        with pytest.raises(ValidationError):
+            _ = handle.span.duration
+        with handle:
+            pass
+
+
+class TestChromeExport:
+    def test_event_shape(self):
+        tr = make_tracer()
+        with tr.span("outer", pipeline="gpu"):
+            pass
+        doc = tr.chrome_trace()
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "host"
+        (span,) = spans
+        assert span["name"] == "outer"
+        assert span["pid"] == 1
+        assert span["dur"] > 0
+        assert span["args"]["pipeline"] == "gpu"
+
+    def test_write_accepts_str_and_path(self, tmp_path):
+        tr = make_tracer()
+        with tr.span("s"):
+            pass
+        p1 = tr.write_chrome_trace(str(tmp_path / "a.json"))
+        p2 = tr.write_chrome_trace(tmp_path / "b.json")
+        assert json.loads(p1.read_text()) == json.loads(p2.read_text())
+
+    def test_write_is_atomic(self, tmp_path):
+        tr = make_tracer()
+        tr.write_chrome_trace(tmp_path / "t.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.json"]
+
+
+class TestMergeTimeline:
+    def make_timeline(self):
+        tl = Timeline()
+        tl.record("write:src", "transfer", 1e-4, stage="data_init")
+        tl.record("kernel:sobel", "kernel", 2e-4, stage="sobel")
+        tl.record("clFinish", "sync", 1e-6, stage="sobel")
+        return tl
+
+    def test_merged_events_in_own_process(self):
+        tr = make_tracer()
+        with tr.span("host_work"):
+            pass
+        pid = tr.merge_timeline(self.make_timeline(), label="sim W8000")
+        events = tr.chrome_trace()["traceEvents"]
+        merged = [e for e in events
+                  if e.get("pid") == pid and e["ph"] == "X"]
+        assert {e["name"] for e in merged} == \
+            {"write:src", "kernel:sobel", "clFinish"}
+        # Simulated timestamps preserved (us).
+        kernel = next(e for e in merged if e["name"] == "kernel:sobel")
+        assert kernel["ts"] == pytest.approx(1e-4 * 1e6)
+        assert kernel["dur"] == pytest.approx(2e-4 * 1e6)
+        assert kernel["args"]["stage"] == "sobel"
+        # Process metadata labels the merged row.
+        names = [e for e in events if e["ph"] == "M"
+                 and e.get("pid") == pid and e["name"] == "process_name"]
+        assert names[0]["args"]["name"] == "sim W8000"
+
+    def test_two_timelines_get_distinct_pids(self):
+        tr = make_tracer()
+        pid1 = tr.merge_timeline(self.make_timeline())
+        pid2 = tr.merge_timeline(self.make_timeline())
+        assert pid1 != pid2
+        assert 1 not in (pid1, pid2)
+
+    def test_host_pid_reserved(self):
+        tr = make_tracer()
+        with pytest.raises(ValidationError):
+            tr.merge_timeline(self.make_timeline(), pid=1)
+
+    def test_perfetto_loadable_json(self, tmp_path):
+        tr = make_tracer()
+        with tr.span("s"):
+            pass
+        tr.merge_timeline(self.make_timeline())
+        path = tr.write_chrome_trace(tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        for e in doc["traceEvents"]:
+            assert "name" in e and "ph" in e and "pid" in e
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tr = NullTracer()
+        with tr.span("s", k=1) as h:
+            h.set(x=2)
+        assert tr.spans == []
+        assert tr.merge_timeline(Timeline()) == 0
+        assert tr.chrome_trace()["traceEvents"][0]["ph"] == "M"
