@@ -34,9 +34,15 @@ from .core import (
     BASE,
     LADDER,
     OPTIMIZED,
+    BatchEngine,
+    BatchResult,
+    BufferPool,
     GPUPipeline,
     GPUResult,
     OptimizationFlags,
+    PlanCache,
+    StreamProcessor,
+    StreamResult,
 )
 from .cpu import CPUPipeline, CPUResult
 from .errors import ReproError, ValidationError
@@ -51,6 +57,12 @@ __all__ = [
     "BASE",
     "LADDER",
     "OPTIMIZED",
+    "BatchEngine",
+    "BatchResult",
+    "BufferPool",
+    "PlanCache",
+    "StreamProcessor",
+    "StreamResult",
     "GPUPipeline",
     "GPUResult",
     "OptimizationFlags",

@@ -46,6 +46,9 @@ class CommandQueue:
         self.obs = obs or NULL_CONTEXT
         self._released = False
         self._pending_maps: dict[int, tuple[Buffer, np.ndarray, str]] = {}
+        #: Bytes moved per direction over this queue's lifetime, kept
+        #: regardless of observability (execution-plan capture reads it).
+        self.transfer_bytes: dict[str, int] = {"h2d": 0, "d2h": 0}
 
     # -- internals -----------------------------------------------------------
 
@@ -74,6 +77,7 @@ class CommandQueue:
             )
 
     def _note_transfer(self, direction: str, nbytes: int) -> None:
+        self.transfer_bytes[direction] += nbytes
         if self.obs.enabled:
             self.obs.metrics.counter(
                 "repro_cl_transfer_bytes_total",
@@ -83,6 +87,19 @@ class CommandQueue:
 
     def release(self) -> None:
         self._released = True
+
+    def reset(self) -> None:
+        """Recycle the queue for another frame (buffer-pool reuse).
+
+        Drops any map state left pending by an aborted frame; the timeline
+        and transfer totals keep accumulating, as they would on a real
+        long-lived command queue.
+        """
+        self._check_alive()
+        for buf, _, _ in list(self._pending_maps.values()):
+            if buf.mem.mapped:
+                buf.end_map()
+        self._pending_maps.clear()
 
     # -- explicit transfers (read/write mode) --------------------------------
 

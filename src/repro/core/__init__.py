@@ -8,6 +8,8 @@ the final image, a simulated event timeline, and a Fig.-13-style stage
 breakdown.
 """
 
+from .batch import BatchEngine, BatchResult
+from .bufferpool import BufferPool, Workspace
 from .dag import overlap_single_run, overlap_stream, serialization_overhead
 from .config import (
     BASE,
@@ -26,10 +28,18 @@ from .heuristics import (
 )
 from .metrics import GPU_STAGE_ORDER, stage_times_from_timeline
 from .pipeline import GPUPipeline, GPUResult
+from .plan import ExecutionPlan, PlanCache, PlanKey
 from .portability import check_flags, device_tuning_summary, retune
 from .stream import FrameStats, StreamProcessor, StreamResult
 
 __all__ = [
+    "BatchEngine",
+    "BatchResult",
+    "BufferPool",
+    "Workspace",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanKey",
     "BASE",
     "LADDER",
     "OPTIMIZED",

@@ -1,0 +1,244 @@
+"""Batch engine: bounded-concurrency frame streaming with ordered results.
+
+:class:`BatchEngine` is the throughput layer on top of
+:class:`~repro.core.stream.StreamProcessor`'s per-frame semantics: frames
+are fed to a pool of worker threads (NumPy releases the GIL on the large
+array operations, so threads suffice), in-flight work is bounded by a
+semaphore (backpressure — a fast producer cannot queue an unbounded number
+of frames), and results come back **in submission order** regardless of
+completion order.  The pool never oversubscribes the host: the effective
+thread count is ``min(workers, os.cpu_count())``, because the per-frame
+work is compute-bound and extra threads only buy context switches.
+
+All workers share one :class:`~repro.core.plan.PlanCache` and one
+:class:`~repro.core.bufferpool.BufferPool`, so the first frame of a shape
+pays the generic setup cost once and every later frame replays the captured
+plan through pooled buffers.  Each worker owns its own
+:class:`~repro.core.pipeline.GPUPipeline` (pipelines are cheap; the caches
+are the shared state) with a tracer-free view of the caller's
+:class:`~repro.obs.RunContext`: the metrics registry and logger are
+thread-safe and shared, while trace spans — a strictly LIFO per-thread
+structure — are only emitted by the submitting thread.
+
+Throughput telemetry lands in the shared registry:
+
+* ``repro_batch_frames_per_second`` / ``repro_batch_wall_seconds`` /
+  ``repro_batch_frames_total`` — wall-clock engine throughput;
+* ``repro_plan_cache_requests_total{outcome}`` — plan hit/miss counters
+  (recorded per frame by the worker pipelines);
+* ``repro_bufferpool_in_use`` / ``repro_bufferpool_idle`` — pool occupancy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError, ValidationError
+from ..obs.runctx import NULL_CONTEXT, RunContext
+from ..obs.trace import NullTracer
+from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
+from ..types import Image, SharpnessParams
+from .bufferpool import BufferPool
+from .config import OPTIMIZED, OptimizationFlags
+from .pipeline import GPUPipeline, GPUResult
+from .plan import PlanCache
+from .stream import FrameStats, frame_stats
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`BatchEngine.run`: ordered stats + throughput."""
+
+    frames: list[FrameStats] = field(default_factory=list)
+    outputs: list[np.ndarray] = field(default_factory=list)
+    edge_means: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    plan_stats: dict[str, int] = field(default_factory=dict)
+    pool_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def frames_per_second(self) -> float:
+        """Measured wall-clock throughput of the engine run."""
+        if self.wall_seconds <= 0.0:
+            raise ValidationError("batch recorded no wall time")
+        return self.n_frames / self.wall_seconds
+
+    @property
+    def simulated_fps(self) -> float:
+        """Simulated steady-state fps (serial device model, cf. stream)."""
+        total = sum(f.serial_time for f in self.frames)
+        if total <= 0.0:
+            raise ValidationError("batch produced no frames")
+        return self.n_frames / total
+
+
+def _worker_view(obs: RunContext) -> RunContext:
+    """The caller's context minus tracing (spans are strictly LIFO per
+    thread; metrics and logs are thread-safe and shared)."""
+    if not obs.enabled:
+        return NULL_CONTEXT
+    return RunContext(run_id=obs.run_id, log=obs.log, metrics=obs.metrics,
+                      trace=NullTracer(), meta=obs.meta, enabled=True)
+
+
+class BatchEngine:
+    """Run frames through a bounded worker pool with ordered results.
+
+    Parameters
+    ----------
+    flags / params / device / cpu:
+        Pipeline configuration, as for
+        :class:`~repro.core.stream.StreamProcessor`.
+    workers:
+        Requested worker thread count (default 4).  The pool is actually
+        sized to ``min(workers, os.cpu_count())``: the frame work is
+        compute-bound (NumPy ufuncs), so oversubscribing the cores only
+        adds context-switch and cache thrash — measured ~25% slower on a
+        single-core host.  ``effective_workers`` exposes the applied size.
+    queue_depth:
+        Maximum in-flight frames (submitted but not yet collected);
+        defaults to ``2 * workers``.  This is the backpressure bound — it
+        also caps result-side memory when ``keep_outputs`` is off.
+    keep_outputs:
+        Retain every sharpened frame on the result, in input order.
+    obs:
+        Optional :class:`~repro.obs.RunContext` shared by all workers.
+    """
+
+    def __init__(self, flags: OptimizationFlags = OPTIMIZED,
+                 params: SharpnessParams | None = None, *,
+                 device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470,
+                 workers: int = 4, queue_depth: int | None = None,
+                 keep_outputs: bool = False,
+                 obs: RunContext | None = None) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.effective_workers = min(workers, os.cpu_count() or workers)
+        self.queue_depth = (queue_depth if queue_depth is not None
+                            else 2 * workers)
+        if self.queue_depth < workers:
+            raise ConfigError(
+                f"queue_depth {self.queue_depth} starves the "
+                f"{workers}-worker pool"
+            )
+        self.flags = flags
+        self.params = params
+        self.device = device
+        self.cpu = cpu
+        self.keep_outputs = keep_outputs
+        self.obs = obs or NULL_CONTEXT
+        self.plan_cache = PlanCache()
+        self.buffer_pool = BufferPool(max_entries=workers + 1, device=device)
+        self._worker_obs = _worker_view(self.obs)
+        self._local = threading.local()
+
+    # -- workers ---------------------------------------------------------------
+
+    def _pipeline(self) -> GPUPipeline:
+        """Per-thread pipeline sharing the engine's plan cache and pool."""
+        pipe = getattr(self._local, "pipeline", None)
+        if pipe is None:
+            pipe = GPUPipeline(
+                self.flags, self.params, self.device, self.cpu,
+                obs=self._worker_obs, label="batch",
+                plan_cache=self.plan_cache, buffer_pool=self.buffer_pool,
+            )
+            self._local.pipeline = pipe
+        return pipe
+
+    def _process(self, index: int, frame) -> GPUResult:
+        if not isinstance(frame, Image):
+            frame = Image.from_array(np.asarray(frame))
+        return self._pipeline().run(frame)
+
+    # -- main entry ------------------------------------------------------------
+
+    def run(self, frames) -> BatchResult:
+        """Process ``frames`` (iterable of arrays or Images), preserving
+        order; blocks until every frame is done."""
+        obs = self.obs
+        result = BatchResult(workers=self.workers)
+        inflight = threading.BoundedSemaphore(self.queue_depth)
+        pending: deque = deque()
+
+        def _collect(block: bool) -> None:
+            while pending and (block or pending[0][1].done()):
+                index, future = pending.popleft()
+                res = future.result()
+                result.frames.append(frame_stats(index, res))
+                result.edge_means.append(res.edge_mean)
+                if self.keep_outputs:
+                    result.outputs.append(res.final)
+
+        start = time.perf_counter()
+        with obs.trace.span("batch.run", workers=self.workers):
+            if self.effective_workers == 1:
+                # One effective worker: dispatch inline.  A pool of one
+                # thread computes the same serial schedule but pays a GIL
+                # handoff + context switch per frame (~2 ms/frame measured
+                # on a single-core host).
+                for index, frame in enumerate(frames):
+                    res = self._process(index, frame)
+                    result.frames.append(frame_stats(index, res))
+                    result.edge_means.append(res.edge_mean)
+                    if self.keep_outputs:
+                        result.outputs.append(res.final)
+            else:
+                with ThreadPoolExecutor(
+                        max_workers=self.effective_workers,
+                        thread_name_prefix="repro-batch") as pool:
+                    for index, frame in enumerate(frames):
+                        inflight.acquire()  # backpressure: bound in-flight
+                        future = pool.submit(self._process, index, frame)
+                        future.add_done_callback(
+                            lambda _f: inflight.release())
+                        pending.append((index, future))
+                        _collect(block=False)
+                    _collect(block=True)
+        result.wall_seconds = time.perf_counter() - start
+        if not result.frames:
+            raise ValidationError("empty frame sequence")
+        result.plan_stats = self.plan_cache.stats()
+        result.pool_stats = self.buffer_pool.stats()
+
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.gauge(
+                "repro_batch_frames_per_second",
+                "Wall-clock throughput of the last batch run",
+            ).set(result.frames_per_second)
+            metrics.gauge(
+                "repro_batch_wall_seconds",
+                "Wall-clock duration of the last batch run",
+            ).set(result.wall_seconds)
+            metrics.counter(
+                "repro_batch_frames_total",
+                "Frames processed by the batch engine",
+            ).inc(result.n_frames)
+            metrics.gauge(
+                "repro_bufferpool_idle",
+                "Idle workspaces parked in the buffer pool",
+            ).set(result.pool_stats["idle"])
+            obs.log.info(
+                "batch.complete", frames=result.n_frames,
+                workers=self.workers,
+                effective_workers=self.effective_workers,
+                wall_ms=result.wall_seconds * 1e3,
+                fps=result.frames_per_second,
+                plan_hits=result.plan_stats["hits"],
+                plan_misses=result.plan_stats["misses"],
+            )
+        return result

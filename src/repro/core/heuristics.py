@@ -16,6 +16,8 @@ checks against the model's own crossover.
 
 from __future__ import annotations
 
+import functools
+
 from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from .config import OptimizationFlags
 
@@ -30,8 +32,12 @@ BORDER_GPU_MIN_SIDE = 768
 REDUCTION_STAGE2_GPU_MIN_PARTIALS = 4096
 
 
+@functools.lru_cache(maxsize=4096)
 def border_on_gpu(flags: OptimizationFlags, h: int, w: int) -> bool:
-    """Resolve the border placement for an ``h x w`` image."""
+    """Resolve the border placement for an ``h x w`` image.
+
+    Pure in hashable inputs (``OptimizationFlags`` is frozen), so the
+    per-frame resolution is memoized."""
     if flags.border_place == "gpu":
         return True
     if flags.border_place == "cpu":
@@ -39,9 +45,11 @@ def border_on_gpu(flags: OptimizationFlags, h: int, w: int) -> bool:
     return min(h, w) >= BORDER_GPU_MIN_SIDE
 
 
+@functools.lru_cache(maxsize=4096)
 def reduction_stage2_on_gpu(flags: OptimizationFlags,
                             n_partials: int) -> bool:
-    """Resolve the stage-2 placement given the stage-1 partial count."""
+    """Resolve the stage-2 placement given the stage-1 partial count
+    (memoized, like :func:`border_on_gpu`)."""
     if flags.reduction_stage2 == "gpu":
         return True
     if flags.reduction_stage2 == "cpu":
@@ -87,6 +95,7 @@ def border_cpu_time(h: int, w: int, device: DeviceSpec = W8000,
     return transfers + border_host_time(h, w, cpu)
 
 
+@functools.lru_cache(maxsize=128)
 def border_crossover_side(device: DeviceSpec = W8000,
                           cpu: CPUSpec = I5_3470, *,
                           transfer_mode: str = "rw",

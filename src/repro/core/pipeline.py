@@ -11,9 +11,18 @@ The functional execution mode computes real pixel values (all flag
 combinations produce the same image up to float64 round-off — the test
 suite asserts this); the emulate mode additionally runs every kernel
 work-item by work-item for small images.
+
+Frame streams reuse work across runs: the first functional run of a given
+``(shape, flags, device, cpu)`` captures an
+:class:`~repro.core.plan.ExecutionPlan` and later frames replay it through
+the :class:`~repro.core.bufferpool.BufferPool` — bit-identical output,
+identical simulated timeline, a fraction of the host cost (see
+``docs/performance.md``; disable with ``caching=False``).
 """
 
 from __future__ import annotations
+
+import functools
 
 from dataclasses import dataclass, field
 
@@ -32,18 +41,22 @@ from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from ..simgpu.profiling import Timeline
 from ..types import Image, SharpnessParams, StageTimes
 from . import heuristics
+from .bufferpool import BufferPool
 from .config import OPTIMIZED, OptimizationFlags
 from .fusion import build_kernel_set
 from .metrics import GPU_STAGE_ORDER, stage_times_from_timeline
+from .plan import ExecutionPlan, PlanCache, PlanKey
 from .transfer import TransferPlanner
 
 #: Workgroup tile for 2-D pixel kernels (16x16 = 256 = the W8000 limit).
 _TILE = 16
 
 
+@functools.lru_cache(maxsize=4096)
 def _grid2d(nx: int, ny: int, tile: int = _TILE) -> tuple[tuple[int, int],
                                                            tuple[int, int]]:
-    """NDRange covering an ``nx x ny`` output with bounds-checked padding."""
+    """NDRange covering an ``nx x ny`` output with bounds-checked padding
+    (pure in its integer inputs, hence memoized)."""
     return (round_up(nx, tile), round_up(ny, tile)), (tile, tile)
 
 
@@ -93,6 +106,20 @@ class GPUPipeline:
     label:
         Pipeline label used in metrics and logs (``"gpu"`` by default;
         experiments use e.g. ``"base"`` / ``"optimized"``).
+    caching:
+        Reuse an :class:`~repro.core.plan.ExecutionPlan` across frames of
+        the same shape (on by default).  The first run of a shape executes
+        the fully generic path and captures a plan; later runs replay it
+        through pooled buffers, producing bit-identical images, the same
+        simulated timeline, and the same metrics at a fraction of the
+        wall-clock cost.  ``caching=False`` restores the plan-free
+        per-frame behaviour (the throughput benchmark's baseline).
+        Emulate/dry-run modes and ``keep_intermediates`` always take the
+        generic path.
+    plan_cache / buffer_pool:
+        Share a :class:`~repro.core.plan.PlanCache` /
+        :class:`~repro.core.bufferpool.BufferPool` across pipelines (the
+        batch engine does); by default each caching pipeline owns its own.
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
@@ -101,7 +128,10 @@ class GPUPipeline:
                  *, mode: str = "functional",
                  keep_intermediates: bool = False,
                  obs: RunContext | None = None,
-                 label: str = "gpu") -> None:
+                 label: str = "gpu",
+                 caching: bool = True,
+                 plan_cache: PlanCache | None = None,
+                 buffer_pool: BufferPool | None = None) -> None:
         from ..errors import ConfigError
         from ..kernels.reduction import KERNEL_WAVEFRONT
 
@@ -121,6 +151,11 @@ class GPUPipeline:
         self.keep_intermediates = keep_intermediates
         self.obs = obs or NULL_CONTEXT
         self.label = label
+        self.caching = caching
+        self.plan_cache = plan_cache if plan_cache is not None else (
+            PlanCache() if caching else None)
+        self.buffer_pool = buffer_pool if buffer_pool is not None else (
+            BufferPool(device=device) if caching else None)
 
     # -- helpers -------------------------------------------------------------
 
@@ -139,7 +174,21 @@ class GPUPipeline:
         obs = self.obs
         with obs.trace.span("gpu.run", pipeline=self.label,
                             h=image.height, w=image.width, mode=self.mode):
-            result = self._run_instrumented(image, obs)
+            key = self._plan_key(image) if self._plan_eligible() else None
+            plan = self.plan_cache.get(key) if key is not None else None
+            if key is not None and obs.enabled:
+                obs.metrics.counter(
+                    "repro_plan_cache_requests_total",
+                    "ExecutionPlan cache lookups by outcome",
+                    ("outcome",),
+                ).labels(outcome="hit" if plan is not None else "miss").inc()
+            if plan is not None:
+                result = self._run_planned(image, plan, obs)
+            else:
+                result, queue = self._run_instrumented(image, obs)
+                if key is not None:
+                    self.plan_cache.put(
+                        key, self._capture_plan(key, result, queue))
         obs.observe_stages(self.label, result.times.times,
                            declare=GPU_STAGE_ORDER)
         obs.record_run(self.label, result.total_time)
@@ -158,7 +207,115 @@ class GPUPipeline:
             )
         return result
 
-    def _run_instrumented(self, image: Image, obs) -> GPUResult:
+    # -- execution-plan caching ------------------------------------------------
+
+    def _plan_eligible(self) -> bool:
+        """Cached execution covers the pixel-producing functional mode only;
+        emulation, dry runs and intermediate capture stay fully generic."""
+        return (self.caching and self.plan_cache is not None
+                and self.buffer_pool is not None
+                and self.mode == "functional"
+                and not self.keep_intermediates)
+
+    def _plan_key(self, image: Image) -> PlanKey:
+        return PlanKey(
+            height=image.height, width=image.width, flags=self.flags,
+            device=self.device, cpu=self.cpu, mode=self.mode,
+            params_structure=type(self.params).__name__,
+        )
+
+    def _plan_geometry(self, h: int, w: int) -> dict:
+        """The NDRange geometry of every launch the flag set implies."""
+        flags = self.flags
+        geometry = {"downscale": _grid2d(w // 4, h // 4)}
+        if heuristics.border_on_gpu(flags, h, w):
+            geometry["border"] = (BORDER_GLOBAL, BORDER_LOCAL)
+        if flags.vectorize:
+            geometry["center"] = _grid2d((w - 4) // 4, (h - 4) // 4)
+            geometry["sobel"] = _grid2d(round_up(w, 4) // 4, h)
+        else:
+            geometry["center"] = _grid2d(w - 4, h - 4)
+            geometry["sobel"] = _grid2d(w, h)
+        if flags.reduction_on_gpu:
+            n_groups, gsz, lsz = reduction_layout(h * w)
+            geometry["reduction0"] = (gsz, lsz)
+            stage2 = heuristics.reduction_stage2_on_gpu(flags, n_groups)
+            count, level = n_groups, 1
+            while stage2 and count > GROUP_SPAN:
+                n_groups, gsz, lsz = reduction_layout(count)
+                geometry[f"reduction{level}"] = (gsz, lsz)
+                count, level = n_groups, level + 1
+        if flags.fuse_sharpness:
+            geometry["sharpness"] = (_grid2d(round_up(w, 4) // 4, h)
+                                     if flags.vectorize else _grid2d(w, h))
+        else:
+            geometry["perror"] = geometry["prelim"] = \
+                geometry["overshoot"] = _grid2d(w, h)
+        return geometry
+
+    def _capture_plan(self, key: PlanKey, result: GPUResult,
+                      queue: CommandQueue) -> ExecutionPlan:
+        kernels = build_kernel_set(self.flags)
+        plan = ExecutionPlan.capture(
+            key,
+            timeline=result.timeline,
+            times=result.times,
+            border_gpu=result.border_ran_on_gpu,
+            stage2_gpu=result.reduction_stage2_on_gpu,
+            kernels=tuple(sorted(kernels)),
+            geometry=self._plan_geometry(key.height, key.width),
+            transfer_bytes=queue.transfer_bytes,
+        )
+        if self.obs.enabled:
+            self.obs.log.debug(
+                "plan.captured", pipeline=self.label,
+                h=key.height, w=key.width,
+                kernels=",".join(plan.kernels),
+                levels=len(plan.reduction_levels),
+            )
+        return plan
+
+    def _run_planned(self, image: Image, plan: ExecutionPlan,
+                     obs) -> GPUResult:
+        """Replay a cached plan: pooled buffers, zero per-frame setup.
+
+        Pixels come from the plan's specialized executor (bit-identical to
+        the generic path); the timeline/stage times are the capture's
+        immutable template, valid because simulated costs never depend on
+        pixel values.  Queue-level metrics are replayed from the capture;
+        per-stage host spans are not re-emitted for cached frames.
+        """
+        pool = self.buffer_pool
+        ws = pool.checkout(image.height, image.width)
+        try:
+            final, edge_mean = plan.execute(image.plane, self.params, ws)
+        finally:
+            pool.checkin(ws)
+        if obs.enabled:
+            plan.replay_observability(obs)
+            stats = pool.stats()
+            obs.metrics.gauge(
+                "repro_bufferpool_in_use",
+                "Workspaces currently checked out of the buffer pool",
+            ).set(stats["in_use"])
+            obs.metrics.gauge(
+                "repro_bufferpool_idle",
+                "Idle workspaces parked in the buffer pool",
+            ).set(stats["idle"])
+        return GPUResult(
+            final=final,
+            times=plan.times,
+            timeline=plan.timeline,
+            edge_mean=edge_mean,
+            flags=self.flags,
+            border_ran_on_gpu=plan.border_gpu,
+            reduction_stage2_on_gpu=plan.stage2_gpu,
+            kernel_launches=plan.kernel_launches,
+            intermediates={},
+        )
+
+    def _run_instrumented(self, image: Image,
+                          obs) -> tuple[GPUResult, CommandQueue]:
         flags = self.flags
         plane = image.plane
         h, w = plane.shape
@@ -295,7 +452,7 @@ class GPUPipeline:
                 "upscaled": up_buf.data.copy(),
                 "p_edge": pedge_buf.data.copy(),
             }
-        return GPUResult(
+        result = GPUResult(
             final=final,
             times=stage_times_from_timeline(ctx.timeline),
             timeline=ctx.timeline,
@@ -306,6 +463,7 @@ class GPUPipeline:
             kernel_launches=len(ctx.timeline.of_kind("kernel")),
             intermediates=intermediates,
         )
+        return result, queue
 
     # -- reduction sub-flow -----------------------------------------------------
 

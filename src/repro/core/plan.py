@@ -1,0 +1,402 @@
+"""Execution plans: amortize per-frame pipeline setup across a stream.
+
+``GPUPipeline.run`` derives the same facts from scratch on every frame of a
+stream: which kernels the flag set implies, where the border and reduction
+stage 2 run, every NDRange geometry, the reduction level chain, and — in the
+simulation — the entire event timeline, which is a pure function of
+``(shape, flags, device, cpu, mode)`` and never of pixel values (the dry-run
+mode relies on exactly this property).
+
+An :class:`ExecutionPlan` captures all of that once, from the first (fully
+generic) run of a given :class:`PlanKey`, and replays it for every later
+frame:
+
+* the *decisions* (kernel set, placements, geometry, reduction levels) are
+  stored and reused instead of re-derived;
+* the *timeline* and per-stage times are shared as an immutable template —
+  simulated costs are content-independent, so frame N's timeline is
+  bit-identical to frame 1's;
+* the *pixels* are produced by a specialized executor that writes into
+  pooled scratch (see :mod:`repro.core.bufferpool`) with no per-frame
+  allocations beyond the output plane itself.  The executor follows the
+  same canonical operation order as :mod:`repro.algo.stages` (same
+  association order in every sum, same reduction level chain), so cached
+  and uncached runs produce **bit-identical** images and edge means — the
+  test suite asserts ``np.array_equal``.
+
+:class:`PlanCache` is a thread-safe LRU keyed on :class:`PlanKey`; its
+hit/miss counters surface through the metrics registry as
+``repro_plan_cache_requests_total{outcome=...}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algo import stages as algo
+from ..kernels.reduction import GROUP_SPAN, reduction_layout
+from ..simgpu.device import CPUSpec, DeviceSpec
+from ..simgpu.profiling import Timeline
+from ..types import FLOAT, SharpnessParams, StageTimes
+from . import heuristics
+from .config import OptimizationFlags
+
+#: ``x ** 0.5`` and ``sqrt(x)`` agree bitwise on IEEE-754 platforms numpy
+#: targets; probe once so the fast executor only takes the sqrt shortcut
+#: when the platform actually honours the identity.
+_POW_PROBE = np.concatenate([
+    np.array([0.0, 1.0, 2.0, 0.5, 255.0, 1e-300, 1e300], dtype=FLOAT),
+    np.geomspace(1e-12, 1e12, 97, dtype=FLOAT),
+])
+POW_HALF_IS_SQRT = bool(
+    np.array_equal(np.power(_POW_PROBE, FLOAT(0.5)), np.sqrt(_POW_PROBE))
+)
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of an execution plan.
+
+    Params *values* are deliberately absent: the plan depends only on the
+    params structure (they feed kernel arguments, not kernel selection or
+    geometry), so one plan serves every tuning of the same shape/flags.
+    """
+
+    height: int
+    width: int
+    flags: OptimizationFlags
+    device: DeviceSpec
+    cpu: CPUSpec
+    mode: str
+    params_structure: str = SharpnessParams.__name__
+
+
+def _reduction_levels(flags: OptimizationFlags,
+                      n: int) -> tuple[tuple[tuple[int, int], ...], bool]:
+    """Device-side reduction level chain ``((count, n_groups), ...)``.
+
+    Mirrors ``GPUPipeline._reduce`` exactly: stage 1 always runs, further
+    levels run while stage 2 sits on the GPU and the surviving partial
+    count still exceeds one workgroup span.  Empty chain = reduction on CPU.
+    """
+    if not flags.reduction_on_gpu:
+        return (), False
+    n_groups, _, _ = reduction_layout(n)
+    levels = [(n, n_groups)]
+    stage2_gpu = heuristics.reduction_stage2_on_gpu(flags, n_groups)
+    count = n_groups
+    while stage2_gpu and count > GROUP_SPAN:
+        ng2, _, _ = reduction_layout(count)
+        levels.append((count, ng2))
+        count = ng2
+    return tuple(levels), stage2_gpu
+
+
+def _group_sums(flat: np.ndarray, count: int, n_groups: int) -> np.ndarray:
+    """Per-workgroup sums of ``flat[:count]`` with the default span.
+
+    Bit-identical to the functional reduction kernel's per-slice ``.sum()``
+    loop: a contiguous row of a reshape and the equivalent 1-D slice run
+    the same pairwise summation.
+    """
+    span = GROUP_SPAN
+    full = count // span
+    if full == n_groups:
+        return flat[:count].reshape(n_groups, span).sum(axis=1)
+    partials = np.empty(n_groups, dtype=FLOAT)
+    if full:
+        partials[:full] = flat[:full * span].reshape(full, span).sum(axis=1)
+    partials[full] = flat[full * span:count].sum()
+    return partials
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything frame-invariant about one pipeline configuration."""
+
+    key: PlanKey
+    border_gpu: bool
+    stage2_gpu: bool
+    #: Device-side reduction levels as ``(count, n_groups)`` pairs.
+    reduction_levels: tuple[tuple[int, int], ...]
+    #: Kernel names of the flag set (introspection / logs).
+    kernels: tuple[str, ...]
+    #: ``stage -> (global_size, local_size)`` NDRange geometry.
+    geometry: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+    #: Immutable per-frame timeline template (content-independent costs).
+    timeline: Timeline
+    times: StageTimes
+    kernel_launches: int
+    #: Observability replay: command counts by kind, simulated kernel
+    #: durations by kernel name, transfer bytes by direction.
+    cmd_counts: dict[str, int] = field(default_factory=dict)
+    kernel_durations: dict[str, tuple[float, ...]] = field(
+        default_factory=dict)
+    transfer_bytes: dict[str, int] = field(default_factory=dict)
+
+    # -- capture --------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, key: PlanKey, *, timeline: Timeline, times: StageTimes,
+                border_gpu: bool, stage2_gpu: bool,
+                kernels: tuple[str, ...],
+                geometry: dict[str, tuple[tuple[int, ...], tuple[int, ...]]],
+                transfer_bytes: dict[str, int]) -> "ExecutionPlan":
+        """Build a plan from the artifacts of one generic reference run."""
+        cmd_counts = dict(Counter(ev.kind for ev in timeline.events))
+        durations: dict[str, list[float]] = {}
+        for ev in timeline.events:
+            if ev.kind == "kernel":
+                name = ev.name.removeprefix("kernel:")
+                durations.setdefault(name, []).append(ev.duration)
+        levels, level_stage2 = _reduction_levels(
+            key.flags, key.height * key.width)
+        if level_stage2 != stage2_gpu:  # pragma: no cover - consistency
+            raise AssertionError("reduction placement drifted from capture")
+        return cls(
+            key=key,
+            border_gpu=border_gpu,
+            stage2_gpu=stage2_gpu,
+            reduction_levels=levels,
+            kernels=kernels,
+            geometry=geometry,
+            timeline=timeline,
+            times=times,
+            kernel_launches=len(timeline.of_kind("kernel")),
+            cmd_counts=cmd_counts,
+            kernel_durations={k: tuple(v) for k, v in durations.items()},
+            transfer_bytes=dict(transfer_bytes),
+        )
+
+    # -- observability replay -------------------------------------------------
+
+    def replay_observability(self, obs) -> None:
+        """Re-emit the reference run's queue-level metrics for one frame.
+
+        Cached frames never touch a :class:`~repro.cl.queue.CommandQueue`,
+        so the per-command counters/histograms the queue would have recorded
+        are replayed from the capture instead; counts and values match the
+        uncached run exactly (per-command debug *log lines* are not
+        replayed).
+        """
+        if not obs.enabled:
+            return
+        commands = obs.metrics.counter(
+            "repro_cl_commands_total", "Enqueued commands by kind",
+            ("kind",),
+        )
+        for kind, count in self.cmd_counts.items():
+            commands.labels(kind=kind).inc(count)
+        transfers = obs.metrics.counter(
+            "repro_cl_transfer_bytes_total",
+            "Host<->device bytes moved over the simulated PCI-E link",
+            ("direction",),
+        )
+        for direction, nbytes in self.transfer_bytes.items():
+            if nbytes:
+                transfers.labels(direction=direction).inc(nbytes)
+        kernel_hist = obs.metrics.histogram(
+            "repro_cl_kernel_seconds",
+            "Simulated kernel duration per dispatched kernel (seconds)",
+            ("kernel",),
+        )
+        for kernel, durations in self.kernel_durations.items():
+            child = kernel_hist.labels(kernel=kernel)
+            for duration in durations:
+                child.observe(duration)
+
+    # -- specialized frame executor -------------------------------------------
+
+    def execute(self, plane: np.ndarray, params: SharpnessParams,
+                ws) -> tuple[np.ndarray, float]:
+        """Sharpen one frame through pooled scratch; allocation-free steady
+        state apart from the returned output plane (which the caller owns).
+
+        ``ws`` is a :class:`~repro.core.bufferpool.Workspace` of matching
+        shape.  Every operation reproduces the canonical stage functions'
+        float association order, so the result is bit-identical to the
+        generic kernel path.
+        """
+        h, w = self.key.height, self.key.width
+
+        # ---- downscale: non-overlapping 4x4 block means ---------------------
+        # Explicit slice adds in reduce order: np.add.reduce over a length-4
+        # axis is sequential (((a0+a1)+a2)+a3), so this matches
+        # ``blocks.sum(axis=(1, 3))`` bit for bit at a third of the cost
+        # (the multi-axis strided reduce is iteration-bound).
+        down = ws.down
+        cols = plane.reshape(h, w // 4, 4)
+        s1 = ws.colsum
+        np.add(cols[:, :, 0], cols[:, :, 1], out=s1)
+        np.add(s1, cols[:, :, 2], out=s1)
+        np.add(s1, cols[:, :, 3], out=s1)
+        rows4 = s1.reshape(h // 4, 4, w // 4)
+        np.add(rows4[:, 0], rows4[:, 1], out=down)
+        np.add(down, rows4[:, 2], out=down)
+        np.add(down, rows4[:, 3], out=down)
+        np.divide(down, FLOAT(16.0), out=down)
+
+        # ---- upscale body (separable, same order as _interp_body_axis0) -----
+        rows = ws.rows
+        a, b = down[:-1], down[1:]
+        for k in range(4):
+            wl, wr = algo.UPSCALE_P[k]
+            np.add(wl * a, wr * b, out=rows[k::4])
+        # Second (column) pass straight into the body view: element [i, 4q+k]
+        # is wl*rows[i, q] + wr*rows[i, q+1] — the same scalar expression the
+        # transpose formulation produces, without materializing the
+        # transposed intermediate.
+        up = ws.up
+        body = up[2:h - 2, 2:w - 2]
+        ra, rb = rows[:, :-1], rows[:, 1:]
+        for k in range(4):
+            wl, wr = algo.UPSCALE_P[k]
+            np.add(wl * ra, wr * rb, out=body[:, k::4])
+        # Border lines: host construction regardless of the GPU/CPU
+        # placement — both placements produce identical values (asserted by
+        # the flag-equivalence tests); the placement only shapes the
+        # (already captured) timeline.
+        algo.upscale_border_apply(up, down)
+
+        # ---- Sobel (separable; association order matches algo.sobel) --------
+        tcol, urow = ws.tcol, ws.urow
+        np.multiply(plane[1:h - 1], 2.0, out=tcol)
+        np.add(plane[0:h - 2], tcol, out=tcol)
+        np.add(tcol, plane[2:h], out=tcol)
+        gx = np.subtract(tcol[:, 2:], tcol[:, :-2], out=ws.gx)
+        np.multiply(plane[:, 1:w - 1], 2.0, out=urow)
+        np.add(plane[:, 0:w - 2], urow, out=urow)
+        np.add(urow, plane[:, 2:w], out=urow)
+        gy = np.subtract(urow[2:], urow[:-2], out=ws.gy)
+        np.abs(gx, out=gx)
+        np.abs(gy, out=gy)
+        edge = ws.edge  # border ring is kept zero by Workspace.reset()
+        np.add(gx, gy, out=edge[1:h - 1, 1:w - 1])
+
+        # ---- reduction: exact level chain of the capture ---------------------
+        n = h * w
+        if not self.reduction_levels:
+            edge_mean = float(edge.sum()) / n
+        else:
+            flat = edge.ravel()
+            for count, n_groups in self.reduction_levels:
+                flat = _group_sums(flat, count, n_groups)
+            edge_mean = float(flat.sum()) / n
+
+        # ---- fused sharpness tail (interior only) ---------------------------
+        # On the one-pixel border the edge map is zero (the ring the
+        # workspace keeps zeroed), so strength is zero there and the
+        # preliminary image equals ``up`` — compute err/strength/prelim on
+        # the contiguous interior and take the border from ``up`` below.
+        pi = plane[1:h - 1, 1:w - 1]
+        ui = up[1:h - 1, 1:w - 1]
+        err = np.subtract(pi, ui, out=ws.err)
+        strength = ws.strength
+        if edge_mean <= 0.0:
+            strength[...] = 0.0
+        else:
+            np.divide(edge[1:h - 1, 1:w - 1], FLOAT(edge_mean),
+                      out=strength)
+            if params.gamma == 0.5 and POW_HALF_IS_SQRT:
+                np.sqrt(strength, out=strength)
+            else:
+                np.power(strength, FLOAT(params.gamma), out=strength)
+            np.multiply(strength, FLOAT(params.gain), out=strength)
+            np.clip(strength, 0.0, params.strength_max, out=strength)
+        prelim = ws.prelim
+        np.multiply(strength, err, out=prelim)
+        np.add(ui, prelim, out=prelim)
+
+        # ---- overshoot control (separable 3x3 min/max, sparse blend) --------
+        osc = FLOAT(params.overshoot)
+        mnc, mxc = ws.mnc, ws.mxc
+        np.minimum(plane[:, 0:w - 2], plane[:, 1:w - 1], out=mnc)
+        np.minimum(mnc, plane[:, 2:w], out=mnc)
+        np.maximum(plane[:, 0:w - 2], plane[:, 1:w - 1], out=mxc)
+        np.maximum(mxc, plane[:, 2:w], out=mxc)
+        mn, mx = ws.mn, ws.mx
+        np.minimum(mnc[0:h - 2], mnc[1:h - 1], out=mn)
+        np.minimum(mn, mnc[2:h], out=mn)
+        np.maximum(mxc[0:h - 2], mxc[1:h - 1], out=mx)
+        np.maximum(mx, mxc[2:h], out=mx)
+
+        final = np.empty((h, w), dtype=FLOAT)
+        body = prelim  # contiguous (h-2, w-2)
+        np.clip(body, 0.0, 255.0, out=final[1:h - 1, 1:w - 1])
+        # Sparse blend through flat integer indices: boolean fancy indexing
+        # walks the mask per element, flatnonzero + take/scatter only touches
+        # the (typically ~10-20%) overshooting pixels.
+        np.greater(body, mx, out=ws.over)
+        np.less(body, mn, out=ws.under)
+        final_flat = final.ravel()
+        body_flat = body.ravel()
+        wi = w - 2
+        for idx_ws, bound, ref in ((ws.over, mx, True), (ws.under, mn, False)):
+            idx = np.flatnonzero(idx_ws)
+            if idx.size == 0:
+                continue
+            bv = np.take(body_flat, idx)
+            lv = np.take(bound.ravel(), idx)
+            if ref:
+                vals = np.minimum(lv + osc * (bv - lv), 255.0)
+            else:
+                vals = np.maximum(lv - osc * (lv - bv), 0.0)
+            # interior index (r, c) -> final index (r+1, c+1), flattened
+            final_flat[idx + 2 * (idx // wi) + w + 1] = vals
+
+        np.clip(up[0], 0.0, 255.0, out=final[0])
+        np.clip(up[h - 1], 0.0, 255.0, out=final[h - 1])
+        np.clip(up[:, 0], 0.0, 255.0, out=final[:, 0])
+        np.clip(up[:, w - 1], 0.0, 255.0, out=final[:, w - 1])
+        return final, edge_mean
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`ExecutionPlan` by :class:`PlanKey`."""
+
+    def __init__(self, maxsize: int = 32) -> None:
+        from ..errors import ConfigError
+
+        if maxsize < 1:
+            raise ConfigError(f"plan cache maxsize must be >= 1, "
+                              f"got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[PlanKey, ExecutionPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: PlanKey) -> ExecutionPlan | None:
+        """Look up a plan; counts a hit or a miss."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._plans)}

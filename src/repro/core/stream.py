@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs.runctx import NULL_CONTEXT, RunContext
 from ..simgpu.profiling import Timeline
 from .dag import overlap_stream
 from ..types import Image, SharpnessParams
@@ -96,6 +97,22 @@ def _overlapped_frame_time(transfer: float, device: float,
     return max(transfer, device) + host
 
 
+def frame_stats(index: int, result: GPUResult) -> FrameStats:
+    """Decompose one pipeline result into per-frame stream statistics."""
+    by_kind = result.timeline.by_kind()
+    transfer = by_kind.get("transfer", 0.0)
+    host = by_kind.get("host", 0.0)
+    device = result.total_time - transfer - host
+    return FrameStats(
+        index=index,
+        serial_time=result.total_time,
+        overlapped_time=_overlapped_frame_time(transfer, device, host),
+        transfer_time=transfer,
+        device_time=device,
+        host_time=host,
+    )
+
+
 class StreamProcessor:
     """Run a sharpness pipeline over a frame sequence.
 
@@ -108,49 +125,67 @@ class StreamProcessor:
     keep_outputs:
         Retain every sharpened frame on the result (memory-heavy for long
         streams).
+    obs:
+        Optional :class:`~repro.obs.RunContext`, forwarded to the
+        underlying :class:`~repro.core.pipeline.GPUPipeline`, so stream
+        runs show up in logs/metrics/traces like single-frame runs do; the
+        stream itself contributes a ``stream.run`` span, a
+        ``repro_stream_fps`` gauge and a completion log record.
+    pipeline:
+        Reuse an existing pipeline (plan cache and buffer pool included)
+        instead of building one; ``flags``/``params``/``device``/``cpu``
+        are ignored when given.
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
                  params: SharpnessParams | None = None, *,
                  device=None, cpu=None, overlap_transfers: bool = False,
-                 keep_outputs: bool = False) -> None:
-        kwargs = {}
-        if device is not None:
-            kwargs["device"] = device
-        if cpu is not None:
-            kwargs["cpu"] = cpu
-        self.pipeline = GPUPipeline(flags, params, **kwargs)
+                 keep_outputs: bool = False,
+                 obs: RunContext | None = None,
+                 pipeline: GPUPipeline | None = None) -> None:
+        self.obs = obs or NULL_CONTEXT
+        if pipeline is not None:
+            self.pipeline = pipeline
+        else:
+            kwargs = {}
+            if device is not None:
+                kwargs["device"] = device
+            if cpu is not None:
+                kwargs["cpu"] = cpu
+            self.pipeline = GPUPipeline(flags, params, obs=obs, **kwargs)
         self.overlap_transfers = overlap_transfers
         self.keep_outputs = keep_outputs
 
     def _frame_stats(self, index: int, result: GPUResult) -> FrameStats:
-        by_kind = result.timeline.by_kind()
-        transfer = by_kind.get("transfer", 0.0)
-        host = by_kind.get("host", 0.0)
-        device = result.total_time - transfer - host
-        return FrameStats(
-            index=index,
-            serial_time=result.total_time,
-            overlapped_time=_overlapped_frame_time(transfer, device, host),
-            transfer_time=transfer,
-            device_time=device,
-            host_time=host,
-        )
+        return frame_stats(index, result)
 
     def run(self, frames) -> StreamResult:
         """Process ``frames`` (arrays or :class:`~repro.types.Image`)."""
+        obs = self.obs
         result = StreamResult(overlap=self.overlap_transfers)
         timelines: list[Timeline] = []
-        for index, frame in enumerate(frames):
-            if not isinstance(frame, Image):
-                frame = Image.from_array(np.asarray(frame))
-            res = self.pipeline.run(frame)
-            result.frames.append(self._frame_stats(index, res))
-            timelines.append(res.timeline)
-            if self.keep_outputs:
-                result.outputs.append(res.final)
-        if not result.frames:
-            raise ValidationError("empty frame sequence")
-        if self.overlap_transfers:
-            result.pipelined_timeline = overlap_stream(timelines)
+        with obs.trace.span("stream.run", overlap=self.overlap_transfers):
+            for index, frame in enumerate(frames):
+                if not isinstance(frame, Image):
+                    frame = Image.from_array(np.asarray(frame))
+                res = self.pipeline.run(frame)
+                result.frames.append(frame_stats(index, res))
+                timelines.append(res.timeline)
+                if self.keep_outputs:
+                    result.outputs.append(res.final)
+            if not result.frames:
+                raise ValidationError("empty frame sequence")
+            if self.overlap_transfers:
+                result.pipelined_timeline = overlap_stream(timelines)
+        if obs.enabled:
+            obs.metrics.gauge(
+                "repro_stream_fps",
+                "Simulated steady-state frames per second of the last "
+                "stream run",
+            ).set(result.fps)
+            obs.log.info(
+                "stream.complete", frames=result.n_frames,
+                simulated_fps=result.fps,
+                overlap=self.overlap_transfers,
+            )
         return result

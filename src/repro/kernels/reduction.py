@@ -34,6 +34,7 @@ modelling why such code is device-specific.
 
 from __future__ import annotations
 
+import functools
 import math
 
 from ..cl.kernel import KernelSpec
@@ -52,10 +53,13 @@ GROUP_SPAN = REDUCTION_WG * REDUCTION_ELEMENTS_PER_THREAD
 KERNEL_WAVEFRONT = 64
 
 
+@functools.lru_cache(maxsize=4096)
 def reduction_layout(n: int, *, wg: int = REDUCTION_WG,
                      ept: int = REDUCTION_ELEMENTS_PER_THREAD
                      ) -> tuple[int, tuple[int], tuple[int]]:
-    """Grid for reducing ``n`` elements: (n_groups, global, local)."""
+    """Grid for reducing ``n`` elements: (n_groups, global, local).
+
+    Pure and called per frame per reduction level; memoized."""
     if n <= 0:
         raise ConfigError(f"cannot reduce {n} elements")
     require_power_of_two(wg, "workgroup size")

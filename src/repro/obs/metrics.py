@@ -6,6 +6,9 @@ counters and launch counts into it, and the experiment reports (Fig. 13
 fractions et al.) are computed *from the registry* rather than from ad-hoc
 dicts, so what an experiment prints is exactly what a scrape would see.
 
+Mutations are thread-safe (a single process-wide lock): the batch engine's
+worker pipelines record into one shared registry concurrently.
+
 Dependency-free by design: exporters emit the Prometheus text exposition
 format (``registry.to_prometheus_text()`` / ``write_prometheus(path)``) and
 a JSON document (``to_json()`` / ``write_json(path)``).  File writes are
@@ -20,10 +23,17 @@ import json
 import math
 import pathlib
 import re
+import threading
 from typing import Any, Iterable, Mapping
 
 from ..errors import ValidationError
 from ..util.io import atomic_write_text
+
+#: One process-wide lock guards every mutation (child creation, counter
+#: increments, histogram observations): the batch engine's worker threads
+#: share a single registry, and the hot operations are far too cheap for
+#: finer-grained locking to pay for its complexity.
+_LOCK = threading.RLock()
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -91,7 +101,8 @@ class CounterChild(_Child):
             raise ValidationError(
                 f"counter increment must be >= 0, got {amount}"
             )
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class GaugeChild(_Child):
@@ -102,13 +113,16 @@ class GaugeChild(_Child):
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _LOCK:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with _LOCK:
+            self.value -= amount
 
 
 class HistogramChild(_Child):
@@ -136,10 +150,11 @@ class HistogramChild(_Child):
     def observe(self, value: float) -> None:
         value = float(value)
         idx = bisect.bisect_left(self.buckets, value)
-        if idx < len(self.buckets):
-            self.bucket_counts[idx] += 1
-        self.sum += value
-        self.observations.append(value)
+        with _LOCK:
+            if idx < len(self.buckets):
+                self.bucket_counts[idx] += 1
+            self.sum += value
+            self.observations.append(value)
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs ending with +Inf."""
@@ -209,15 +224,16 @@ class MetricFamily:
                 f"got {tuple(labels)}"
             )
         key = tuple(str(labels[k]) for k in self.labelnames)
-        child = self._children.get(key)
-        if child is None:
-            label_map = dict(zip(self.labelnames, key))
-            if self.kind == "histogram":
-                child = HistogramChild(label_map, self.buckets)
-            else:
-                child = _CHILD_TYPES[self.kind](label_map)
-            self._children[key] = child
-        return child
+        with _LOCK:
+            child = self._children.get(key)
+            if child is None:
+                label_map = dict(zip(self.labelnames, key))
+                if self.kind == "histogram":
+                    child = HistogramChild(label_map, self.buckets)
+                else:
+                    child = _CHILD_TYPES[self.kind](label_map)
+                self._children[key] = child
+            return child
 
     @property
     def children(self) -> Iterable[Any]:
@@ -253,22 +269,24 @@ class MetricsRegistry:
     def _register(self, name: str, kind: str, help: str,
                   labelnames: tuple[str, ...],
                   buckets: tuple[float, ...] | None = None) -> MetricFamily:
-        existing = self._families.get(name)
-        if existing is not None:
-            if existing.kind != kind:
-                raise ValidationError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {kind}"
-                )
-            if existing.labelnames != tuple(labelnames):
-                raise ValidationError(
-                    f"metric {name!r} already registered with labels "
-                    f"{existing.labelnames}, not {tuple(labelnames)}"
-                )
-            return existing
-        family = MetricFamily(name, kind, help, tuple(labelnames), buckets)
-        self._families[name] = family
-        return family
+        with _LOCK:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValidationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValidationError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            family = MetricFamily(name, kind, help, tuple(labelnames),
+                                  buckets)
+            self._families[name] = family
+            return family
 
     def counter(self, name: str, help: str = "",
                 labelnames: tuple[str, ...] = ()) -> MetricFamily:

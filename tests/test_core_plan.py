@@ -1,0 +1,188 @@
+"""Execution-plan cache: keying, correctness, eviction, observability."""
+
+import dataclasses
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASE,
+    LADDER,
+    OPTIMIZED,
+    GPUPipeline,
+    PlanCache,
+    PlanKey,
+)
+from repro.errors import ConfigError
+from repro.obs import RunContext
+from repro.simgpu.device import W8000
+from repro.types import Image
+from repro.util import images
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return [Image.from_array(f)
+            for f in images.video_sequence(64, 64, 3, seed=8)]
+
+
+class TestPlanKeying:
+    def test_distinct_shapes_get_distinct_plans(self):
+        pipe = GPUPipeline(OPTIMIZED)
+        for side in (32, 48, 64):
+            pipe.run(images.video_sequence(side, side, 1, seed=1)[0])
+        assert len(pipe.plan_cache) == 3
+        assert pipe.plan_cache.stats()["misses"] == 3
+        assert pipe.plan_cache.stats()["hits"] == 0
+
+    def test_distinct_flags_never_share_plans(self, frames):
+        cache = PlanCache()
+        for _, flags in LADDER:
+            GPUPipeline(flags, plan_cache=cache).run(frames[0])
+        assert len(cache) == len(LADDER)
+        assert cache.stats()["hits"] == 0
+
+    def test_distinct_devices_never_share_plans(self, frames):
+        other = dataclasses.replace(W8000, name="other-gpu")
+        cache = PlanCache()
+        GPUPipeline(OPTIMIZED, plan_cache=cache).run(frames[0])
+        GPUPipeline(OPTIMIZED, device=other, plan_cache=cache).run(frames[0])
+        assert len(cache) == 2
+
+    def test_same_config_hits(self, frames):
+        pipe = GPUPipeline(OPTIMIZED)
+        for f in frames:
+            pipe.run(f)
+        stats = pipe.plan_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(frames) - 1
+
+    def test_key_is_hashable_and_comparable(self):
+        k1 = PlanKey(64, 64, OPTIMIZED, W8000,
+                     GPUPipeline().cpu, "functional")
+        k2 = PlanKey(64, 64, OPTIMIZED, W8000,
+                     GPUPipeline().cpu, "functional")
+        assert k1 == k2 and hash(k1) == hash(k2)
+
+
+class TestPlanCorrectness:
+    @pytest.mark.parametrize("name,flags",
+                             [(n, f) for n, f in LADDER],
+                             ids=[n for n, _ in LADDER])
+    def test_cached_bit_identical_across_ladder(self, frames, name, flags):
+        uncached = GPUPipeline(flags, caching=False)
+        cached = GPUPipeline(flags)
+        for f in frames:
+            ref = uncached.run(f)
+            got = cached.run(f)
+            assert np.array_equal(got.final, ref.final)
+            assert got.edge_mean == ref.edge_mean
+        assert cached.plan_cache.stats()["hits"] == len(frames) - 1
+
+    def test_cached_preserves_simulated_results(self, frames):
+        uncached = GPUPipeline(OPTIMIZED, caching=False)
+        cached = GPUPipeline(OPTIMIZED)
+        for f in frames:
+            ref = uncached.run(f)
+            got = cached.run(f)
+            assert got.total_time == ref.total_time
+            assert got.kernel_launches == ref.kernel_launches
+            assert got.times.times == ref.times.times
+
+    def test_rectangular_frames(self):
+        plane = images.video_sequence(32, 64, 2, seed=3)
+        uncached = GPUPipeline(BASE, caching=False)
+        cached = GPUPipeline(BASE)
+        for f in plane:
+            assert np.array_equal(cached.run(f).final,
+                                  uncached.run(f).final)
+
+
+class TestPlanBypass:
+    def test_emulate_mode_bypasses_cache(self):
+        pipe = GPUPipeline(OPTIMIZED, mode="emulate")
+        frame = images.video_sequence(16, 16, 1, seed=1)[0]
+        pipe.run(frame)
+        pipe.run(frame)
+        assert len(pipe.plan_cache) == 0
+        assert pipe.plan_cache.stats() == {"hits": 0, "misses": 0,
+                                           "size": 0}
+
+    def test_keep_intermediates_bypasses_cache(self, frames):
+        pipe = GPUPipeline(OPTIMIZED, keep_intermediates=True)
+        res = pipe.run(frames[0])
+        pipe.run(frames[0])
+        assert len(pipe.plan_cache) == 0
+        assert res.intermediates  # generic path retained buffers
+
+    def test_caching_off_has_no_cache(self, frames):
+        pipe = GPUPipeline(OPTIMIZED, caching=False)
+        pipe.run(frames[0])
+        assert pipe.plan_cache is None
+        assert pipe.buffer_pool is None
+
+
+class TestPlanCacheLRU:
+    def test_eviction_respects_maxsize(self):
+        cache = PlanCache(maxsize=2)
+        pipe = GPUPipeline(OPTIMIZED, plan_cache=cache)
+        for side in (32, 48, 64):
+            pipe.run(images.video_sequence(side, side, 1, seed=1)[0])
+        assert len(cache) == 2
+        # 32x32 was evicted (least recently used): re-running misses again.
+        misses = cache.stats()["misses"]
+        pipe.run(images.video_sequence(32, 32, 1, seed=1)[0])
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ConfigError):
+            PlanCache(maxsize=0)
+
+    def test_clear(self, frames):
+        pipe = GPUPipeline(OPTIMIZED)
+        pipe.run(frames[0])
+        assert len(pipe.plan_cache) == 1
+        pipe.plan_cache.clear()
+        assert len(pipe.plan_cache) == 0
+
+
+class TestPlanObservability:
+    def test_hit_miss_counters_in_prometheus(self, frames):
+        obs = RunContext.create("plan-test", log_level="warning",
+                                log_stream=io.StringIO())
+        pipe = GPUPipeline(OPTIMIZED, obs=obs)
+        for f in frames:
+            pipe.run(f)
+        text = obs.metrics.to_prometheus_text()
+        assert 'repro_plan_cache_requests_total{outcome="miss"} 1' in text
+        assert ('repro_plan_cache_requests_total{outcome="hit"} '
+                f'{len(frames) - 1}') in text
+
+    def test_cached_runs_replay_queue_metrics(self, frames):
+        def totals(n_runs):
+            obs = RunContext.create("plan-test", log_level="warning",
+                                    log_stream=io.StringIO())
+            pipe = GPUPipeline(OPTIMIZED, obs=obs,
+                               caching=(n_runs > 1))
+            for _ in range(n_runs):
+                pipe.run(frames[0])
+            return obs.metrics.to_prometheus_text()
+
+        once = totals(1)
+        lines_once = {
+            line.split()[0]: float(line.split()[1])
+            for line in once.splitlines()
+            if line.startswith(("repro_cl_commands_total",
+                                "repro_cl_transfer_bytes_total"))
+        }
+        twice = totals(2)
+        lines_twice = {
+            line.split()[0]: float(line.split()[1])
+            for line in twice.splitlines()
+            if line.startswith(("repro_cl_commands_total",
+                                "repro_cl_transfer_bytes_total"))
+        }
+        # A cached second run must double every queue-level total.
+        for key, value in lines_once.items():
+            assert lines_twice[key] == 2 * value, key

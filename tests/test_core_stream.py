@@ -1,10 +1,13 @@
 """Stream processing and the copy/compute-overlap model."""
 
+import io
+
 import numpy as np
 import pytest
 
 from repro.core import BASE, OPTIMIZED, GPUPipeline, StreamProcessor
 from repro.errors import ValidationError
+from repro.obs import RunContext
 from repro.types import Image
 from repro.util import images
 
@@ -55,6 +58,28 @@ class TestStreamProcessor:
         assert not stream.sustains(1e9)         # impossible
         with pytest.raises(ValidationError):
             stream.sustains(0.0)
+
+
+class TestStreamObservability:
+    def test_run_context_threads_through_frames(self, frames):
+        stream = io.StringIO()
+        obs = RunContext.create("stream-test", log_level="info",
+                                log_stream=stream)
+        StreamProcessor(OPTIMIZED, obs=obs).run(frames)
+        text = obs.metrics.to_prometheus_text()
+        # Per-frame pipeline metrics land in the shared registry...
+        assert "repro_pipeline_runs_total" in text
+        # ...and the stream layer publishes its simulated throughput.
+        assert "repro_stream_fps" in text
+        assert "stream.complete" in stream.getvalue()
+
+    def test_pipeline_override_is_used(self, frames):
+        pipe = GPUPipeline(OPTIMIZED)
+        stream = StreamProcessor(OPTIMIZED, pipeline=pipe)
+        assert stream.pipeline is pipe
+        result = stream.run(frames)
+        assert result.n_frames == len(frames)
+        assert pipe.plan_cache.stats()["hits"] >= len(frames) - 1
 
 
 class TestOverlapModel:
