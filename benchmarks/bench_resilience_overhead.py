@@ -1,0 +1,102 @@
+"""Resilience overhead: plain batch vs resilience-enabled, faults disabled.
+
+The resilience layer must be free when nothing fails: with no fault plan
+armed, the per-frame cost is one ``breaker.allow()`` (a lock acquire), the
+``execute()`` wrapper, and a handful of ``getattr`` checks at the fault
+sites.  This benchmark streams a batch through :class:`~repro.BatchEngine`
+twice — bare, then wrapped in the full retry + breaker + fallback stack
+with **no faults injected** — and asserts the wall-clock overhead of the
+disabled path stays under 5%.  Numbers land in
+``benchmarks/results/BENCH_resilience.json``.
+
+Run with ``pytest benchmarks/bench_resilience_overhead.py`` or directly
+with ``PYTHONPATH=src python benchmarks/bench_resilience_overhead.py``;
+``REPRO_BENCH_SMOKE=1`` switches to a tiny configuration for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import BatchEngine, OPTIMIZED, ResilienceConfig
+from repro.util import images
+from repro.util.io import atomic_write_text
+
+#: Full-size configuration (matches bench_throughput).
+SIZE, N_FRAMES, WORKERS = 512, 64, 4
+#: CI smoke configuration.
+SMOKE_SIZE, SMOKE_FRAMES = 256, 16
+#: Timing repetitions; the minimum is compared (least-noise estimator).
+ROUNDS = 5
+#: Maximum tolerated overhead of the disabled resilience path.
+THRESHOLD = 0.05
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _time_batch(frames, resilience) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        engine = BatchEngine(OPTIMIZED, workers=WORKERS,
+                             resilience=resilience)
+        t0 = time.perf_counter()
+        engine.run(frames)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure() -> dict:
+    size = SMOKE_SIZE if _smoke() else SIZE
+    n_frames = SMOKE_FRAMES if _smoke() else N_FRAMES
+    frames = list(images.video_sequence(size, size, n_frames, seed=3))
+
+    # Warm both paths (imports, plan capture, allocator).
+    _time_batch(frames[:2], None)
+    _time_batch(frames[:2], ResilienceConfig())
+
+    plain = _time_batch(frames, None)
+    resilient = _time_batch(frames, ResilienceConfig())
+    return {
+        "benchmark": "resilience_overhead",
+        "size": size,
+        "n_frames": n_frames,
+        "workers": WORKERS,
+        "rounds": ROUNDS,
+        "plain_s": plain,
+        "resilient_s": resilient,
+        "overhead": resilient / plain - 1.0,
+        "threshold": THRESHOLD,
+        "smoke": _smoke(),
+    }
+
+
+def test_resilience_overhead_within_threshold(results_dir):
+    result = measure()
+    atomic_write_text(
+        results_dir / "BENCH_resilience.json",
+        json.dumps(result, indent=1) + "\n",
+    )
+    print(f"\nresilience overhead (faults disabled): "
+          f"plain {result['plain_s'] * 1e3:.1f} ms, "
+          f"resilient {result['resilient_s'] * 1e3:.1f} ms "
+          f"({100 * result['overhead']:+.2f}%)")
+    assert result["overhead"] < THRESHOLD, (
+        f"disabled-resilience overhead {100 * result['overhead']:.1f}% "
+        f"exceeds {100 * THRESHOLD:.0f}% — the no-fault hot path must "
+        "stay free"
+    )
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    result = measure()
+    atomic_write_text(out / "BENCH_resilience.json",
+                      json.dumps(result, indent=1) + "\n")
+    print(json.dumps(result, indent=1))

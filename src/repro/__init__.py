@@ -26,6 +26,8 @@ Packages:
 * :mod:`repro.core` — the optimized pipeline and the optimization ladder;
 * :mod:`repro.obs` — structured logging, metrics registry and tracing
   (pass a :class:`~repro.obs.RunContext` as ``obs=`` to either pipeline);
+* :mod:`repro.resilience` — fault injection, retry/timeout policies,
+  circuit breaker and the GPU->CPU :class:`~repro.resilience.FallbackPipeline`;
 * :mod:`repro.experiments` — per-table/figure reproduction harness.
 """
 
@@ -37,6 +39,7 @@ from .core import (
     BatchEngine,
     BatchResult,
     BufferPool,
+    FrameFailure,
     GPUPipeline,
     GPUResult,
     OptimizationFlags,
@@ -45,12 +48,48 @@ from .core import (
     StreamResult,
 )
 from .cpu import CPUPipeline, CPUResult
-from .errors import ReproError, ValidationError
+from .errors import (
+    BarrierDivergenceError,
+    CircuitOpenError,
+    CLError,
+    ConfigError,
+    DeviceFault,
+    DeviceOOMError,
+    FaultSpecError,
+    FrameTimeoutError,
+    GlobalMemoryError,
+    InvalidBufferError,
+    InvalidKernelArgsError,
+    InvalidWorkGroupError,
+    KernelLaunchFault,
+    LocalMemoryError,
+    MapError,
+    PermanentError,
+    QueueError,
+    RaceConditionError,
+    ReproError,
+    RetryExhaustedError,
+    TransferFault,
+    TransientError,
+    UsageError,
+    ValidationError,
+    WorkerCrashError,
+    is_transient,
+)
 from .obs import MetricsRegistry, RunContext
+from .resilience import (
+    CircuitBreaker,
+    FallbackPipeline,
+    FaultPlan,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+    Timeout,
+)
 from .simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from .types import Image, SharpnessParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "sharpen",
@@ -60,6 +99,7 @@ __all__ = [
     "BatchEngine",
     "BatchResult",
     "BufferPool",
+    "FrameFailure",
     "PlanCache",
     "StreamProcessor",
     "StreamResult",
@@ -70,8 +110,41 @@ __all__ = [
     "CPUResult",
     "MetricsRegistry",
     "RunContext",
+    # resilience layer
+    "CircuitBreaker",
+    "FallbackPipeline",
+    "FaultPlan",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetryPolicy",
+    "Timeout",
+    # exception hierarchy
     "ReproError",
     "ValidationError",
+    "ConfigError",
+    "UsageError",
+    "TransientError",
+    "PermanentError",
+    "is_transient",
+    "CLError",
+    "InvalidBufferError",
+    "InvalidKernelArgsError",
+    "InvalidWorkGroupError",
+    "MapError",
+    "QueueError",
+    "DeviceFault",
+    "BarrierDivergenceError",
+    "LocalMemoryError",
+    "GlobalMemoryError",
+    "RaceConditionError",
+    "TransferFault",
+    "KernelLaunchFault",
+    "DeviceOOMError",
+    "WorkerCrashError",
+    "FrameTimeoutError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "FaultSpecError",
     "CPUSpec",
     "DeviceSpec",
     "I5_3470",

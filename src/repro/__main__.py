@@ -27,6 +27,14 @@ output is a directory; frames run through
 :class:`~repro.core.batch.BatchEngine` (shared plan cache + buffer pool,
 bounded worker threads, ordered results) and a throughput summary is
 printed to stderr.
+
+Resilience (see ``docs/resilience.md``): ``--resilient`` runs frames under
+retry + circuit-breaker + GPU->CPU fallback policies; ``--inject-faults
+SPEC`` arms the deterministic fault injector (e.g.
+``'transfer:rate=0.2,kind=transient;seed=7'``) to rehearse failures.
+Unusable inputs — unreadable or corrupt image files, malformed fault
+specs — exit with code 2 and a one-line structured error; runtime
+failures keep exit code 1.
 """
 
 from __future__ import annotations
@@ -41,8 +49,9 @@ import numpy as np
 from .algo.color import sharpen_rgb
 from .core import BASE, OPTIMIZED, GPUPipeline
 from .cpu import CPUPipeline
-from .errors import ReproError
+from .errors import ReproError, UsageError, ValidationError
 from .obs import LEVELS, RunContext
+from .resilience import FallbackPipeline, FaultPlan, ResilienceConfig
 from .types import Image, SharpnessParams
 from .util import images as synth
 from .util.io import read_pgm, read_ppm, write_pgm, write_ppm
@@ -50,6 +59,25 @@ from .util.io import read_pgm, read_ppm, write_pgm, write_ppm
 from .presets import PRESETS
 
 PIPELINES = ("cpu", "gpu-base", "gpu")
+
+
+def _read_image(reader, path):
+    """Read an input image, folding unreadable/corrupt files into
+    :class:`~repro.errors.UsageError` (CLI exit code 2)."""
+    try:
+        return reader(path)
+    except OSError as exc:
+        raise UsageError(f"cannot read {path}: {exc}") from exc
+    except ValidationError as exc:
+        raise UsageError(f"corrupt image {path}: {exc}") from exc
+
+
+def _parse_fault_plan(args) -> FaultPlan | None:
+    """``--inject-faults`` spec -> FaultPlan (FaultSpecError is already a
+    UsageError, so a bad spec exits with code 2)."""
+    if not args.inject_faults:
+        return None
+    return FaultPlan.parse(args.inject_faults)
 
 
 def _build_params(args) -> SharpnessParams:
@@ -70,26 +98,37 @@ def _build_params(args) -> SharpnessParams:
 
 def _make_obs(args) -> RunContext:
     """Build the run's observability context from the CLI flags."""
+    faults = _parse_fault_plan(args)
     obs = RunContext.create(
         log_level=args.log_level, log_format=args.log_format,
         meta={"pipeline": args.pipeline, "preset": args.preset,
               "input": str(args.input)},
+        faults=faults,
     )
     obs.log.info("run.start", pipeline=args.pipeline, preset=args.preset,
                  input=str(args.input), output=str(args.output))
+    if faults is not None:
+        obs.log.warning("faults.armed", spec=faults.describe())
     return obs
 
 
 def _make_luma_runner(pipeline: str, params: SharpnessParams,
-                      report: bool, obs: RunContext):
+                      report: bool, obs: RunContext,
+                      resilient: bool = False):
     if pipeline == "cpu":
         pipe = CPUPipeline(params, obs=obs)
     else:
         flags = BASE if pipeline == "gpu-base" else OPTIMIZED
         pipe = GPUPipeline(flags, params, obs=obs, label=pipeline)
+        if resilient:
+            pipe = FallbackPipeline(pipe, ResilienceConfig(), obs=obs)
 
     def run(plane: np.ndarray) -> np.ndarray:
         res = pipe.run(Image.from_array(plane))
+        backend = getattr(res, "backend", None)
+        if backend and backend != "gpu":
+            print(f"[resilience] frame served by {backend}",
+                  file=sys.stderr)
         if report:
             label = {"cpu": "CPU baseline", "gpu-base": "base GPU",
                      "gpu": "optimized GPU"}[pipeline]
@@ -132,22 +171,36 @@ def cmd_batch(args, params, obs) -> int:
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
     flags = BASE if args.pipeline == "gpu-base" else OPTIMIZED
+    resilience = ResilienceConfig() if args.resilient else None
     engine = BatchEngine(flags, params, workers=args.workers,
-                         keep_outputs=True, obs=obs)
+                         keep_outputs=True, obs=obs,
+                         resilience=resilience)
     with obs.span("cli.batch", frames=len(frames), workers=args.workers):
-        result = engine.run(read_pgm(p) for p in frames)
+        result = engine.run(
+            source=lambda: (_read_image(read_pgm, p) for p in frames))
         for src_path, plane in zip(frames, result.outputs):
-            write_pgm(out_dir / src_path.name, plane)
+            if plane is not None:
+                write_pgm(out_dir / src_path.name, plane)
     stats = result.plan_stats
+    backends = ", ".join(f"{k}={v}"
+                         for k, v in sorted(result.backends().items()))
     print(
         f"[batch] {result.n_frames} frames, {args.workers} workers: "
         f"{result.frames_per_second:.1f} fps wall "
         f"({result.wall_seconds * 1e3:.0f} ms total), plan cache "
-        f"{stats['hits']} hits / {stats['misses']} misses",
+        f"{stats['hits']} hits / {stats['misses']} misses, "
+        f"backends {backends}",
         file=sys.stderr,
     )
-    print(f"wrote {result.n_frames} frames to {out_dir}")
-    return 0
+    if result.dead_letters:
+        for failure in result.dead_letters:
+            print(f"[batch] frame {failure.index} failed: "
+                  f"{failure.error_type}: {failure.error}",
+                  file=sys.stderr)
+    written = result.n_frames - result.n_failed
+    print(f"wrote {written} frames to {out_dir}"
+          + (f" ({result.n_failed} failed)" if result.n_failed else ""))
+    return 0 if result.ok else 1
 
 
 def cmd_sharpen(args) -> int:
@@ -158,16 +211,17 @@ def cmd_sharpen(args) -> int:
         _write_exports(args, obs)
         return code
     src = pathlib.Path(args.input)
-    runner = _make_luma_runner(args.pipeline, params, args.report, obs)
+    runner = _make_luma_runner(args.pipeline, params, args.report, obs,
+                               resilient=args.resilient)
 
     suffix = src.suffix.lower()
     with obs.span("cli.sharpen", input=str(src), format=suffix):
         if suffix == ".ppm":
-            rgb = read_ppm(src)
+            rgb = _read_image(read_ppm, src)
             out = sharpen_rgb(rgb, params, luma_sharpener=runner)
             write_ppm(args.output, out)
         elif suffix == ".pgm":
-            plane = read_pgm(src)
+            plane = _read_image(read_pgm, src)
             write_pgm(args.output, runner(plane))
         else:
             raise ReproError(
@@ -223,6 +277,17 @@ def main(argv: list[str] | None = None) -> int:
                                 "them through the batch engine")
     p_sharpen.add_argument("--workers", type=int, default=4,
                            help="worker threads for --batch (default: 4)")
+    p_sharpen.add_argument("--resilient", action="store_true",
+                           help="run under the resilience layer: retry "
+                                "transient faults, trip a circuit breaker "
+                                "on persistent GPU failures and degrade "
+                                "to the CPU pipeline (see "
+                                "docs/resilience.md)")
+    p_sharpen.add_argument("--inject-faults", dest="inject_faults",
+                           default=None, metavar="SPEC",
+                           help="deterministic fault injection, e.g. "
+                                "'transfer:rate=0.2,kind=transient;seed=7'"
+                                " (sites: transfer, kernel, oom, worker)")
     p_sharpen.add_argument("--log-level", dest="log_level",
                            choices=sorted(LEVELS, key=LEVELS.get),
                            default="warning",
@@ -247,6 +312,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except UsageError as exc:
+        # Unusable input (unreadable/corrupt file, malformed fault spec):
+        # one structured line, no traceback, argparse-style exit code 2.
+        print(f"error: exit=2 kind={type(exc).__name__} msg={str(exc)!r}",
+              file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -63,6 +63,17 @@ class CommandQueue:
             )
         buf.check_context(self.context)
 
+    def _maybe_fault(self, site: str, detail: str) -> None:
+        """Consult the run's fault plan (``obs.faults``) at this site.
+
+        Fires *before* the command's side effects so an injected failure
+        leaves buffers, the timeline, and transfer totals untouched — a
+        retried command replays cleanly.
+        """
+        faults = self.obs.faults
+        if faults is not None:
+            faults.check(site, self.obs, detail=detail)
+
     def _record(self, name: str, kind: str, duration: float,
                 stage: str) -> None:
         self.context.timeline.record(name, kind, duration, stage=stage)
@@ -108,6 +119,7 @@ class CommandQueue:
         """Bulk host->device copy (``clEnqueueWriteBuffer``)."""
         self._check_alive()
         self._check_buffer(buf)
+        self._maybe_fault("transfer", f"write:{buf.name}")
         buf.mem.write(np.asarray(host))
         duration = self.context.device.pcie.rw_time(buf.nbytes)
         self._note_transfer("h2d", buf.nbytes)
@@ -118,6 +130,7 @@ class CommandQueue:
         """Bulk device->host copy (``clEnqueueReadBuffer``)."""
         self._check_alive()
         self._check_buffer(buf)
+        self._maybe_fault("transfer", f"read:{buf.name}")
         host = buf.mem.read()
         duration = self.context.device.pcie.rw_time(buf.nbytes)
         self._note_transfer("d2h", buf.nbytes)
@@ -133,6 +146,7 @@ class CommandQueue:
         """
         self._check_alive()
         self._check_buffer(buf)
+        self._maybe_fault("transfer", f"read-part:{buf.name}")
         if nbytes < 0 or nbytes > buf.nbytes:
             raise InvalidBufferError(
                 f"{buf.name}: partial read of {nbytes} bytes from a "
@@ -158,6 +172,7 @@ class CommandQueue:
         """
         self._check_alive()
         self._check_buffer(buf)
+        self._maybe_fault("transfer", f"map:{buf.name}")
         buf.begin_map()
         if write:
             staging = np.zeros(buf.shape, dtype=buf.data.dtype)
@@ -202,6 +217,7 @@ class CommandQueue:
         """
         self._check_alive()
         self._check_buffer(buf)
+        self._maybe_fault("transfer", f"write-rect:{buf.name}")
         host = np.asarray(host)
         if host.ndim != 2 or len(buf.shape) != 2:
             raise InvalidBufferError(
@@ -229,6 +245,7 @@ class CommandQueue:
                          *, stage: str = "") -> None:
         """Launch a kernel over an NDRange (``clEnqueueNDRangeKernel``)."""
         self._check_alive()
+        self._maybe_fault("kernel", f"launch:{kernel.name}")
         for buf in kernel.buffers():
             self._check_buffer(buf)
             if buf.mem.mapped:

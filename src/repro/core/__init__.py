@@ -8,7 +8,7 @@ the final image, a simulated event timeline, and a Fig.-13-style stage
 breakdown.
 """
 
-from .batch import BatchEngine, BatchResult
+from .batch import BatchEngine, BatchResult, FrameFailure
 from .bufferpool import BufferPool, Workspace
 from .dag import overlap_single_run, overlap_stream, serialization_overhead
 from .config import (
@@ -35,6 +35,7 @@ from .stream import FrameStats, StreamProcessor, StreamResult
 __all__ = [
     "BatchEngine",
     "BatchResult",
+    "FrameFailure",
     "BufferPool",
     "Workspace",
     "ExecutionPlan",

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigError, ValidationError
+from ..errors import ConfigError, ReproError, ValidationError, is_transient
 from ..obs.runctx import NULL_CONTEXT, RunContext
 from ..obs.trace import NullTracer
 from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
@@ -51,10 +51,28 @@ from .pipeline import GPUPipeline, GPUResult
 from .plan import PlanCache
 from .stream import FrameStats, frame_stats
 
+FRAMES_FAILED = "repro_frames_failed_total"
+
+
+@dataclass
+class FrameFailure:
+    """One dead-lettered frame: position, error, and attempt count."""
+
+    index: int
+    error: str
+    error_type: str
+    attempts: int = 1
+
 
 @dataclass
 class BatchResult:
-    """Outcome of one :meth:`BatchEngine.run`: ordered stats + throughput."""
+    """Outcome of one :meth:`BatchEngine.run`: ordered stats + throughput.
+
+    With resilience enabled, a failing frame does not poison the batch:
+    its slot in ``frames`` / ``outputs`` / ``edge_means`` is preserved in
+    submission order (``FrameStats.error`` set, output ``None``, edge mean
+    NaN) and the failure is dead-lettered in ``dead_letters``.
+    """
 
     frames: list[FrameStats] = field(default_factory=list)
     outputs: list[np.ndarray] = field(default_factory=list)
@@ -63,10 +81,27 @@ class BatchResult:
     workers: int = 1
     plan_stats: dict[str, int] = field(default_factory=dict)
     pool_stats: dict[str, int] = field(default_factory=dict)
+    dead_letters: list[FrameFailure] = field(default_factory=list)
 
     @property
     def n_frames(self) -> int:
         return len(self.frames)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.dead_letters)
+
+    @property
+    def ok(self) -> bool:
+        """Did every frame produce pixels (GPU or fallback)?"""
+        return not self.dead_letters
+
+    def backends(self) -> dict[str, int]:
+        """Frame count per serving backend (gpu / cpu-fallback / failed)."""
+        out: dict[str, int] = {}
+        for f in self.frames:
+            out[f.backend] = out.get(f.backend, 0) + 1
+        return out
 
     @property
     def frames_per_second(self) -> float:
@@ -86,11 +121,17 @@ class BatchResult:
 
 def _worker_view(obs: RunContext) -> RunContext:
     """The caller's context minus tracing (spans are strictly LIFO per
-    thread; metrics and logs are thread-safe and shared)."""
+    thread; metrics and logs are thread-safe and shared).  The fault plan
+    rides along: injection keeps working inside worker threads."""
     if not obs.enabled:
-        return NULL_CONTEXT
+        if obs.faults is None:
+            return NULL_CONTEXT
+        return RunContext(run_id=obs.run_id, log=obs.log,
+                          metrics=obs.metrics, trace=NullTracer(),
+                          meta=obs.meta, enabled=False, faults=obs.faults)
     return RunContext(run_id=obs.run_id, log=obs.log, metrics=obs.metrics,
-                      trace=NullTracer(), meta=obs.meta, enabled=True)
+                      trace=NullTracer(), meta=obs.meta, enabled=True,
+                      faults=obs.faults)
 
 
 class BatchEngine:
@@ -115,6 +156,19 @@ class BatchEngine:
         Retain every sharpened frame on the result, in input order.
     obs:
         Optional :class:`~repro.obs.RunContext` shared by all workers.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  When given,
+        every worker pipeline is wrapped in a
+        :class:`~repro.resilience.FallbackPipeline` sharing one circuit
+        breaker and one retry budget (so consecutive GPU failures
+        anywhere trip the whole engine over to the CPU path together),
+        simulated worker crashes are re-dispatched, and — with
+        ``isolate=True`` — a frame that still fails yields an in-order
+        ``FrameStats(error=...)`` plus a dead letter instead of aborting
+        the batch.
+    timeout:
+        Per-frame execution deadline in seconds (must be > 0); feeds the
+        resilience layer's retry-deadline check.
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
@@ -122,9 +176,15 @@ class BatchEngine:
                  device: DeviceSpec = W8000, cpu: CPUSpec = I5_3470,
                  workers: int = 4, queue_depth: int | None = None,
                  keep_outputs: bool = False,
-                 obs: RunContext | None = None) -> None:
+                 obs: RunContext | None = None,
+                 resilience=None,
+                 timeout: float | None = None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(
+                f"timeout must be > 0 seconds, got {timeout}"
+            )
         self.workers = workers
         self.effective_workers = min(workers, os.cpu_count() or workers)
         self.queue_depth = (queue_depth if queue_depth is not None
@@ -140,10 +200,35 @@ class BatchEngine:
         self.cpu = cpu
         self.keep_outputs = keep_outputs
         self.obs = obs or NULL_CONTEXT
+        self.timeout = timeout
+        self.resilience = self._effective_resilience(resilience)
         self.plan_cache = PlanCache()
-        self.buffer_pool = BufferPool(max_entries=workers + 1, device=device)
         self._worker_obs = _worker_view(self.obs)
+        self.buffer_pool = BufferPool(max_entries=workers + 1, device=device,
+                                      obs=self._worker_obs)
+        self._breaker = None
+        self._budget = None
+        if self.resilience is not None:
+            self._breaker = self.resilience.make_breaker(
+                name="batch", obs=self._worker_obs)
+            self._budget = self.resilience.make_budget()
         self._local = threading.local()
+
+    def _effective_resilience(self, resilience):
+        """Fold the engine-level ``timeout`` into the resilience config."""
+        if resilience is None:
+            return None
+        from ..resilience.fallback import ResilienceConfig
+
+        if not isinstance(resilience, ResilienceConfig):
+            raise ConfigError(
+                f"resilience must be a ResilienceConfig, got "
+                f"{type(resilience).__name__}"
+            )
+        if self.timeout is not None and resilience.timeout_s is None:
+            from dataclasses import replace
+            resilience = replace(resilience, timeout_s=self.timeout)
+        return resilience
 
     # -- workers ---------------------------------------------------------------
 
@@ -156,32 +241,134 @@ class BatchEngine:
                 obs=self._worker_obs, label="batch",
                 plan_cache=self.plan_cache, buffer_pool=self.buffer_pool,
             )
+            if self.resilience is not None:
+                from ..resilience.fallback import FallbackPipeline
+                pipe = FallbackPipeline(
+                    pipe, self.resilience, breaker=self._breaker,
+                    budget=self._budget, obs=self._worker_obs,
+                )
             self._local.pipeline = pipe
         return pipe
 
-    def _process(self, index: int, frame) -> GPUResult:
+    def _process(self, index: int, frame):
         if not isinstance(frame, Image):
             frame = Image.from_array(np.asarray(frame))
-        return self._pipeline().run(frame)
+        if self.resilience is None:
+            if self.obs.faults is not None:
+                self.obs.faults.check("worker", self._worker_obs,
+                                      detail=f"frame:{index}")
+            return self._pipeline().run(frame), 1
+        return self._process_resilient(index, frame)
+
+    def _process_resilient(self, index: int, frame):
+        """One frame under the resilience policies.
+
+        The ``worker`` fault site fires here — a simulated worker crash.
+        Crashes (and any other transient error escaping the per-frame
+        pipeline wrapper) are re-dispatched up to the retry policy's
+        attempt bound, which models replacing a dead worker; the wrapped
+        pipeline does its own transfer/kernel-level retrying and GPU->CPU
+        fallback underneath.
+        """
+        obs = self._worker_obs
+        faults = obs.faults
+        policy = self.resilience.retry
+        last_exc: ReproError | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                if faults is not None:
+                    faults.check("worker", obs, detail=f"frame:{index}")
+                result = self._pipeline().run(frame)
+                if attempt > 1 and obs.enabled:
+                    obs.metrics.counter(
+                        "repro_retries_total",
+                        "Retry-policy attempt outcomes", ("outcome",),
+                    ).labels(outcome="success").inc()
+                return result, attempt
+            except ReproError as exc:
+                last_exc = exc
+                if attempt >= policy.max_attempts or not is_transient(exc):
+                    break
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "repro_retries_total",
+                        "Retry-policy attempt outcomes", ("outcome",),
+                    ).labels(outcome="retried").inc()
+                    obs.log.warning(
+                        "batch.frame_retry", frame=index, attempt=attempt,
+                        error=type(exc).__name__,
+                    )
+        if not self.resilience.isolate:
+            raise last_exc
+        return FrameFailure(
+            index=index, error=str(last_exc),
+            error_type=type(last_exc).__name__,
+            attempts=min(attempt, policy.max_attempts),
+        ), attempt
 
     # -- main entry ------------------------------------------------------------
 
-    def run(self, frames) -> BatchResult:
+    def run(self, frames=None, *, source=None) -> BatchResult:
         """Process ``frames`` (iterable of arrays or Images), preserving
-        order; blocks until every frame is done."""
+        order; blocks until every frame is done.
+
+        ``source`` is the lazy alternative: a zero-argument callable
+        returning the frame iterable, invoked once at run start (a
+        non-callable source is a :class:`~repro.errors.ConfigError` —
+        caught here rather than deep in the worker pool).
+        """
+        if source is not None:
+            if frames is not None:
+                raise ConfigError(
+                    "pass either frames or source=, not both"
+                )
+            if not callable(source):
+                raise ConfigError(
+                    f"frame source must be callable, got "
+                    f"{type(source).__name__}"
+                )
+            frames = source()
+        if frames is None:
+            raise ConfigError("no frames: pass an iterable or source=")
         obs = self.obs
         result = BatchResult(workers=self.workers)
         inflight = threading.BoundedSemaphore(self.queue_depth)
         pending: deque = deque()
 
+        def _absorb(index: int, res, attempts: int) -> None:
+            """Fold one frame outcome into the ordered result."""
+            if isinstance(res, FrameFailure):
+                result.dead_letters.append(res)
+                result.frames.append(FrameStats(
+                    index=index, serial_time=0.0, overlapped_time=0.0,
+                    transfer_time=0.0, device_time=0.0, host_time=0.0,
+                    backend="failed", error=res.error,
+                    attempts=res.attempts,
+                ))
+                result.edge_means.append(float("nan"))
+                if self.keep_outputs:
+                    result.outputs.append(None)
+                if obs.enabled:
+                    obs.metrics.counter(
+                        FRAMES_FAILED,
+                        "Frames that failed after retries/fallback",
+                    ).inc()
+                    obs.log.error(
+                        "batch.frame_failed", frame=index,
+                        error_type=res.error_type, error=res.error,
+                        attempts=res.attempts,
+                    )
+                return
+            result.frames.append(frame_stats(index, res, attempts))
+            result.edge_means.append(res.edge_mean)
+            if self.keep_outputs:
+                result.outputs.append(res.final)
+
         def _collect(block: bool) -> None:
             while pending and (block or pending[0][1].done()):
                 index, future = pending.popleft()
-                res = future.result()
-                result.frames.append(frame_stats(index, res))
-                result.edge_means.append(res.edge_mean)
-                if self.keep_outputs:
-                    result.outputs.append(res.final)
+                res, attempts = future.result()
+                _absorb(index, res, attempts)
 
         start = time.perf_counter()
         with obs.trace.span("batch.run", workers=self.workers):
@@ -191,11 +378,8 @@ class BatchEngine:
                 # handoff + context switch per frame (~2 ms/frame measured
                 # on a single-core host).
                 for index, frame in enumerate(frames):
-                    res = self._process(index, frame)
-                    result.frames.append(frame_stats(index, res))
-                    result.edge_means.append(res.edge_mean)
-                    if self.keep_outputs:
-                        result.outputs.append(res.final)
+                    res, attempts = self._process(index, frame)
+                    _absorb(index, res, attempts)
             else:
                 with ThreadPoolExecutor(
                         max_workers=self.effective_workers,
@@ -240,5 +424,9 @@ class BatchEngine:
                 fps=result.frames_per_second,
                 plan_hits=result.plan_stats["hits"],
                 plan_misses=result.plan_stats["misses"],
+                failed=result.n_failed,
+                backends=",".join(
+                    f"{k}={v}" for k, v in sorted(result.backends().items())
+                ),
             )
         return result

@@ -107,13 +107,16 @@ class BufferPool:
     """Bounded, thread-safe pool of :class:`Workspace` objects per shape."""
 
     def __init__(self, max_entries: int = 4, *,
-                 device: DeviceSpec = W8000) -> None:
+                 device: DeviceSpec = W8000, obs=None) -> None:
         if max_entries < 1:
             raise ConfigError(
                 f"buffer pool max_entries must be >= 1, got {max_entries}"
             )
         self.max_entries = max_entries
         self.device = device
+        #: Optional RunContext; its fault plan's ``oom`` site makes
+        #: checkouts simulate CL_MEM_OBJECT_ALLOCATION_FAILURE.
+        self.obs = obs
         self._idle: dict[tuple[int, int], list[Workspace]] = {}
         self._lock = threading.Lock()
         self.in_use = 0
@@ -123,6 +126,11 @@ class BufferPool:
 
     def checkout(self, h: int, w: int) -> Workspace:
         """Borrow a frame-clean workspace for an ``h x w`` frame."""
+        obs = self.obs
+        if obs is not None and obs.faults is not None:
+            # Simulated device OOM fires before any pool state changes, so
+            # a retried checkout starts from a clean slate.
+            obs.faults.check("oom", obs, detail=f"checkout:{h}x{w}")
         with self._lock:
             stack = self._idle.get((h, w))
             ws = stack.pop() if stack else None

@@ -73,6 +73,10 @@ class GPUResult:
     reduction_stage2_on_gpu: bool
     kernel_launches: int = 0
     intermediates: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Which backend produced the pixels: ``"gpu"`` for the simulated
+    #: device path, ``"cpu-fallback"`` when the resilience layer served
+    #: the frame from :class:`~repro.cpu.CPUPipeline`.
+    backend: str = "gpu"
 
     @property
     def total_time(self) -> float:
@@ -155,7 +159,7 @@ class GPUPipeline:
         self.plan_cache = plan_cache if plan_cache is not None else (
             PlanCache() if caching else None)
         self.buffer_pool = buffer_pool if buffer_pool is not None else (
-            BufferPool(device=device) if caching else None)
+            BufferPool(device=device, obs=self.obs) if caching else None)
 
     # -- helpers -------------------------------------------------------------
 
@@ -285,6 +289,14 @@ class GPUPipeline:
         pixel values.  Queue-level metrics are replayed from the capture;
         per-stage host spans are not re-emitted for cached frames.
         """
+        faults = obs.faults
+        if faults is not None:
+            # Replayed frames never touch a CommandQueue, so the queue's
+            # transfer/kernel fault sites would go dark after the first
+            # (instrumented) frame of a shape.  One check per site per
+            # replayed frame stands in for the replayed commands.
+            faults.check("transfer", obs, detail="plan-replay")
+            faults.check("kernel", obs, detail="plan-replay")
         pool = self.buffer_pool
         ws = pool.checkout(image.height, image.width)
         try:

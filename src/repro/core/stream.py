@@ -30,7 +30,13 @@ from .pipeline import GPUPipeline, GPUResult
 
 @dataclass
 class FrameStats:
-    """Per-frame record of one stream run."""
+    """Per-frame record of one stream run.
+
+    ``backend`` says who produced the frame (``"gpu"``, ``"cpu-fallback"``
+    when the resilience layer degraded, ``"failed"`` for an isolated
+    per-frame failure); ``error``/``attempts`` carry the failure message
+    and the number of execution attempts the frame took.
+    """
 
     index: int
     serial_time: float
@@ -38,6 +44,13 @@ class FrameStats:
     transfer_time: float
     device_time: float
     host_time: float
+    backend: str = "gpu"
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -97,7 +110,8 @@ def _overlapped_frame_time(transfer: float, device: float,
     return max(transfer, device) + host
 
 
-def frame_stats(index: int, result: GPUResult) -> FrameStats:
+def frame_stats(index: int, result: GPUResult,
+                attempts: int = 1) -> FrameStats:
     """Decompose one pipeline result into per-frame stream statistics."""
     by_kind = result.timeline.by_kind()
     transfer = by_kind.get("transfer", 0.0)
@@ -110,6 +124,8 @@ def frame_stats(index: int, result: GPUResult) -> FrameStats:
         transfer_time=transfer,
         device_time=device,
         host_time=host,
+        backend=getattr(result, "backend", "gpu"),
+        attempts=attempts,
     )
 
 
@@ -135,6 +151,13 @@ class StreamProcessor:
         Reuse an existing pipeline (plan cache and buffer pool included)
         instead of building one; ``flags``/``params``/``device``/``cpu``
         are ignored when given.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  When given,
+        the stream's pipeline is wrapped in a
+        :class:`~repro.resilience.FallbackPipeline`: transient faults are
+        retried, a tripped breaker routes frames to the CPU pipeline, and
+        degraded frames show up as ``FrameStats.backend ==
+        "cpu-fallback"``.
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
@@ -142,7 +165,8 @@ class StreamProcessor:
                  device=None, cpu=None, overlap_transfers: bool = False,
                  keep_outputs: bool = False,
                  obs: RunContext | None = None,
-                 pipeline: GPUPipeline | None = None) -> None:
+                 pipeline: GPUPipeline | None = None,
+                 resilience=None) -> None:
         self.obs = obs or NULL_CONTEXT
         if pipeline is not None:
             self.pipeline = pipeline
@@ -153,6 +177,11 @@ class StreamProcessor:
             if cpu is not None:
                 kwargs["cpu"] = cpu
             self.pipeline = GPUPipeline(flags, params, obs=obs, **kwargs)
+        if resilience is not None:
+            from ..resilience.fallback import FallbackPipeline
+            if not isinstance(self.pipeline, FallbackPipeline):
+                self.pipeline = FallbackPipeline(
+                    self.pipeline, resilience, obs=self.obs)
         self.overlap_transfers = overlap_transfers
         self.keep_outputs = keep_outputs
 

@@ -22,6 +22,49 @@ class ConfigError(ReproError, ValueError):
     """An invalid combination of pipeline configuration options."""
 
 
+class UsageError(ReproError):
+    """A CLI-level input problem (unreadable file, malformed spec).
+
+    The command-line front end maps this family to exit code 2, mirroring
+    the argparse convention that "the user gave us something unusable" is
+    distinct from "the run failed" (exit code 1).
+    """
+
+
+# --------------------------------------------------------------------------
+# Retryability markers (resilience layer)
+# --------------------------------------------------------------------------
+
+
+class TransientError:
+    """Mixin marking an error as safe to retry.
+
+    Retryability can be declared two ways: inherit this mixin, or set a
+    boolean ``transient`` attribute on the exception instance (the fault
+    injector does the latter so one fault class can carry either flavor).
+    :func:`is_transient` resolves both.
+    """
+
+
+class PermanentError:
+    """Mixin marking an error as *not* retryable (fail fast / fall back)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Should a retry policy re-attempt after ``exc``?
+
+    The instance ``transient`` attribute wins over the class hierarchy, so
+    injected faults can flip one class both ways; unmarked errors default
+    to non-retryable (retrying an unknown failure hides bugs).
+    """
+    flagged = getattr(exc, "transient", None)
+    if flagged is not None:
+        return bool(flagged)
+    if isinstance(exc, PermanentError):
+        return False
+    return isinstance(exc, TransientError)
+
+
 # --------------------------------------------------------------------------
 # Simulated OpenCL host API errors (mirror CL_* error codes conceptually)
 # --------------------------------------------------------------------------
@@ -75,3 +118,50 @@ class GlobalMemoryError(DeviceFault):
 class RaceConditionError(DeviceFault):
     """Two work-items accessed the same memory cell without an intervening
     synchronization point, with at least one access being a write."""
+
+
+# --------------------------------------------------------------------------
+# Injected faults and resilience-layer failures
+# --------------------------------------------------------------------------
+
+
+class TransferFault(CLError):
+    """A (simulated) PCI-E transfer failed mid-flight.
+
+    Raised by the fault injector at the command-queue transfer sites; the
+    ``transient`` attribute says whether a retry can succeed.
+    """
+
+
+class KernelLaunchFault(CLError):
+    """A (simulated) kernel launch failed (lost device, reset, ...)."""
+
+
+class DeviceOOMError(CLError, TransientError):
+    """Device allocation failed (``CL_MEM_OBJECT_ALLOCATION_FAILURE``).
+
+    Transient by default: on a busy device, memory freed by completing
+    work makes a delayed retry plausible.
+    """
+
+
+class WorkerCrashError(ReproError, TransientError):
+    """A batch worker died mid-frame; the frame can be re-dispatched."""
+
+
+class FrameTimeoutError(ReproError, TransientError):
+    """Per-frame execution exceeded its deadline."""
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker is open: the protected path is not accepting
+    calls and no fallback was configured."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retry policy ran out of attempts (or budget); carries the last
+    underlying failure as ``__cause__``."""
+
+
+class FaultSpecError(UsageError, ConfigError):
+    """A ``--inject-faults`` specification string failed to parse."""

@@ -35,7 +35,15 @@ PIPELINE_SECONDS = "repro_pipeline_simulated_seconds"
 
 @dataclass
 class RunContext:
-    """One run's identity, metadata and observability sinks."""
+    """One run's identity, metadata and observability sinks.
+
+    ``faults`` optionally carries a
+    :class:`~repro.resilience.faults.FaultPlan`: the simulated runtime's
+    fault sites (queue transfers, kernel launches, buffer-pool
+    acquisitions, batch workers) consult it on every operation, so one
+    context both *injects* the failures and *observes* them (every
+    injection lands in ``repro_faults_injected_total{site}``).
+    """
 
     run_id: str
     log: Logger
@@ -43,6 +51,9 @@ class RunContext:
     trace: Tracer
     meta: dict[str, Any] = field(default_factory=dict)
     enabled: bool = True
+    #: Optional FaultPlan consulted by the simulated runtime's fault sites
+    #: (typed loosely to keep obs import-free of the resilience layer).
+    faults: Any = None
 
     # -- constructors --------------------------------------------------------
 
@@ -51,13 +62,14 @@ class RunContext:
                log_level: int | str = "info",
                log_stream: IO[str] | None = None,
                log_format: str = "logfmt",
-               meta: Mapping[str, Any] | None = None) -> "RunContext":
+               meta: Mapping[str, Any] | None = None,
+               faults: Any = None) -> "RunContext":
         """Build an enabled context with fresh sinks."""
         run_id = run_id or uuid.uuid4().hex[:12]
         log = Logger(level=log_level, stream=log_stream,
                      fmt=log_format).bind(run=run_id)
         return cls(run_id=run_id, log=log, metrics=MetricsRegistry(),
-                   trace=Tracer(), meta=dict(meta or {}))
+                   trace=Tracer(), meta=dict(meta or {}), faults=faults)
 
     @classmethod
     def disabled(cls) -> "RunContext":

@@ -1,0 +1,50 @@
+"""Resilient execution: fault injection, retries, breaker, CPU fallback.
+
+The production story of the ROADMAP needs the pipeline to *keep serving*
+through device faults, corrupt frames, and worker crashes.  This package
+provides both halves of that story:
+
+* :mod:`~repro.resilience.faults` — a deterministic, seedable
+  :class:`FaultPlan` threaded through the simulated runtime (queue
+  transfers, kernel launches, buffer-pool acquisitions, batch workers)
+  via :class:`~repro.obs.RunContext`;
+* :mod:`~repro.resilience.policy` — :class:`RetryPolicy` (bounded
+  attempts, exponential backoff with deterministic jitter),
+  :class:`RetryBudget` and per-frame :class:`Timeout`;
+* :mod:`~repro.resilience.breaker` — a three-state
+  :class:`CircuitBreaker`;
+* :mod:`~repro.resilience.fallback` — :class:`FallbackPipeline`, the
+  GPU -> CPU graceful-degradation wrapper, and :class:`ResilienceConfig`,
+  the knob bundle the batch engine and CLI consume.
+
+See ``docs/resilience.md`` for the fault-spec grammar, policy knobs and
+the metrics reference.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .fallback import (
+    BACKEND_CPU_FALLBACK,
+    BACKEND_GPU,
+    FallbackPipeline,
+    ResilienceConfig,
+)
+from .faults import SITES, FaultPlan, SiteSpec
+from .policy import RetryBudget, RetryPolicy, Timeout, execute
+
+__all__ = [
+    "BACKEND_CPU_FALLBACK",
+    "BACKEND_GPU",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "FallbackPipeline",
+    "FaultPlan",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetryPolicy",
+    "SITES",
+    "SiteSpec",
+    "Timeout",
+    "execute",
+]

@@ -1,0 +1,140 @@
+"""Circuit breaker: stop hammering a failing backend, probe to recover.
+
+The classic three-state machine guarding the GPU path:
+
+* **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker;
+* **open** — calls are refused (:meth:`allow` returns ``False``) so the
+  caller degrades to its fallback immediately instead of paying the
+  failure latency per frame; after ``recovery_time`` seconds the breaker
+  lets one probe through;
+* **half-open** — exactly one in-flight probe is admitted; success closes
+  the breaker, failure re-opens it (and restarts the recovery clock).
+
+State is exported live as ``repro_breaker_state{breaker}`` (0 closed,
+1 open, 2 half-open) plus a ``repro_breaker_transitions_total{breaker,to}``
+counter, so a metrics scrape shows both where the breaker is and how it
+got there.  All methods are thread-safe — the batch engine's workers share
+one breaker, which is what makes "N consecutive failures anywhere" trip
+the whole engine over to the CPU path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import ConfigError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_VALUES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+BREAKER_STATE = "repro_breaker_state"
+BREAKER_TRANSITIONS = "repro_breaker_transitions_total"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_time: float = 30.0, *,
+                 name: str = "gpu", obs=None,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time < 0:
+            raise ConfigError(
+                f"recovery_time must be >= 0, got {recovery_time}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.name = name
+        self.obs = obs
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._export_state()
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Lock held: open -> half-open once the recovery window passed."""
+        if (self._state == OPEN
+                and self.clock() - self._opened_at >= self.recovery_time):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, to: str) -> None:
+        """Lock held: move to ``to`` and export the change."""
+        if self._state == to:
+            return
+        self._state = to
+        if to == OPEN:
+            self._opened_at = self.clock()
+        if to != HALF_OPEN:
+            self._probing = False
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter(
+                BREAKER_TRANSITIONS,
+                "Circuit breaker state transitions", ("breaker", "to"),
+            ).labels(breaker=self.name, to=to).inc()
+            obs.log.info("breaker.transition", breaker=self.name, to=to)
+        self._export_state()
+
+    def _export_state(self) -> None:
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            obs.metrics.gauge(
+                BREAKER_STATE,
+                "Circuit breaker state (0 closed, 1 open, 2 half-open)",
+                ("breaker",),
+            ).labels(breaker=self.name).set(_STATE_VALUES[self._state])
+
+    # -- protocol -------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected path right now?
+
+        In the half-open state only the first caller gets a probe slot;
+        concurrent callers are refused until the probe resolves.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state in (HALF_OPEN, OPEN):
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # the probe failed: back to open, restart the clock
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (self._state == CLOSED
+                    and self._consecutive_failures
+                    >= self.failure_threshold):
+                self._transition(OPEN)

@@ -1,0 +1,198 @@
+"""GPU -> CPU graceful degradation, transparent to pipeline callers.
+
+The paper's own evaluation compares the simulated GPU path against a
+"well-optimized CPU version" (Fig. 12/13) — which hands us a natural
+fallback target.  :class:`FallbackPipeline` wraps a
+:class:`~repro.core.pipeline.GPUPipeline` with the full resilience stack:
+
+1. each frame runs the GPU path under a :class:`~.policy.RetryPolicy`
+   (transient faults are retried with deterministic backoff, bounded by
+   the optional shared :class:`~.policy.RetryBudget` and the per-frame
+   :class:`~.policy.Timeout` deadline);
+2. a :class:`~.breaker.CircuitBreaker` counts consecutive GPU failures and,
+   once tripped, routes frames straight to the CPU pipeline without paying
+   the GPU failure latency (a half-open probe recovers the GPU path when
+   it heals);
+3. when the GPU path is down (breaker open, retries exhausted, or a
+   permanent fault), the frame is served by
+   :class:`~repro.cpu.CPUPipeline` — the ``repro.cpu.optimized`` stage
+   implementations — and the result is flagged ``backend="cpu-fallback"``.
+
+The wrapper returns the same :class:`~repro.core.pipeline.GPUResult` shape
+either way (fallback results carry a host-only timeline built from the CPU
+cost model), so :class:`~repro.core.stream.StreamProcessor` and
+:class:`~repro.core.batch.BatchEngine` consume it unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..cpu.pipeline import CPUPipeline
+from ..errors import CircuitOpenError, ReproError
+from ..obs.runctx import NULL_CONTEXT
+from ..simgpu.profiling import Timeline
+from .breaker import CircuitBreaker
+from .policy import RetryBudget, RetryPolicy, Timeout, execute
+
+#: Backend tags stamped on results (``GPUResult.backend``).
+BACKEND_GPU = "gpu"
+BACKEND_CPU_FALLBACK = "cpu-fallback"
+
+FALLBACK_FRAMES = "repro_fallback_frames_total"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One bundle of resilience knobs, shared by wrapper and engine.
+
+    ``fallback=False`` turns the wrapper into retry + breaker only: once
+    the GPU path is down the error propagates (the batch engine can still
+    isolate it per frame via ``isolate``).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failures: int = 5
+    breaker_recovery_s: float = 0.05
+    timeout_s: float | None = None
+    retry_budget: int | None = None
+    fallback: bool = True
+    #: Batch engine: capture per-frame failures as FrameStats(error=...)
+    #: + dead letters instead of poisoning the whole batch.
+    isolate: bool = True
+
+    def make_timeout(self) -> Timeout | None:
+        return Timeout(self.timeout_s) if self.timeout_s is not None else None
+
+    def make_budget(self) -> RetryBudget | None:
+        return (RetryBudget(self.retry_budget)
+                if self.retry_budget is not None else None)
+
+    def make_breaker(self, *, name: str = "gpu", obs=None) -> CircuitBreaker:
+        return CircuitBreaker(self.breaker_failures,
+                              self.breaker_recovery_s, name=name, obs=obs)
+
+
+class FallbackPipeline:
+    """Resilient facade over a GPU pipeline with a CPU understudy.
+
+    Parameters
+    ----------
+    gpu:
+        The protected :class:`~repro.core.pipeline.GPUPipeline`.
+    config:
+        The :class:`ResilienceConfig` knobs (default: 3 attempts,
+        5-failure breaker, fallback on).
+    cpu:
+        The understudy; built from the GPU pipeline's params/cpu spec when
+        omitted.
+    breaker / budget:
+        Share a breaker / retry budget across wrappers (the batch engine
+        passes one of each so its workers trip and recover together).
+    obs:
+        :class:`~repro.obs.RunContext`; defaults to the GPU pipeline's.
+    sleep / clock:
+        Injectable timing (tests use virtual clocks).
+    """
+
+    def __init__(self, gpu, config: ResilienceConfig | None = None, *,
+                 cpu: CPUPipeline | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 budget: RetryBudget | None = None,
+                 obs=None, sleep=time.sleep,
+                 clock=time.monotonic) -> None:
+        self.gpu = gpu
+        self.config = config or ResilienceConfig()
+        self.obs = obs if obs is not None else getattr(
+            gpu, "obs", NULL_CONTEXT)
+        self.cpu = cpu if cpu is not None else CPUPipeline(
+            gpu.params, gpu.cpu, obs=self.obs, label="cpu-fallback")
+        self.breaker = breaker if breaker is not None else (
+            self.config.make_breaker(name=getattr(gpu, "label", "gpu"),
+                                     obs=self.obs))
+        self.budget = budget if budget is not None else (
+            self.config.make_budget())
+        self.timeout = self.config.make_timeout()
+        self.sleep = sleep
+        self.clock = clock
+        # Mirrored for callers that treat this as a GPUPipeline drop-in.
+        self.flags = getattr(gpu, "flags", None)
+        self.params = gpu.params
+        self.label = getattr(gpu, "label", "gpu")
+
+    # -- main entry -----------------------------------------------------------
+
+    def run(self, image):
+        """Sharpen one frame resiliently; always a ``GPUResult`` shape."""
+        obs = self.obs
+        if not self.breaker.allow():
+            return self._degrade(image, reason="breaker-open")
+        try:
+            result, attempts = execute(
+                lambda: self.gpu.run(image),
+                self.config.retry,
+                timeout=self.timeout,
+                budget=self.budget,
+                obs=obs,
+                sleep=self.sleep,
+                clock=self.clock,
+                label=f"{self.label}.frame",
+            )
+        except ReproError as exc:
+            self.breaker.record_failure()
+            return self._degrade(image, reason=type(exc).__name__,
+                                 cause=exc)
+        except Exception:
+            # Unknown failure: count it against the breaker (and release a
+            # half-open probe slot) but never mask it with the fallback.
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        result.backend = BACKEND_GPU
+        return result
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, image, *, reason: str,
+                 cause: Exception | None = None):
+        if not self.config.fallback:
+            if cause is not None:
+                raise cause
+            raise CircuitOpenError(
+                f"{self.label}: circuit open and no fallback configured"
+            )
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter(
+                FALLBACK_FRAMES,
+                "Frames served by the CPU fallback path",
+                ("pipeline", "reason"),
+            ).labels(pipeline=self.label, reason=reason).inc()
+            obs.log.warning(
+                "fallback.engaged", pipeline=self.label, reason=reason,
+            )
+        with obs.trace.span("fallback.run", pipeline=self.label,
+                            reason=reason):
+            cpu_result = self.cpu.run(image)
+        return self._as_gpu_result(cpu_result)
+
+    def _as_gpu_result(self, cpu_result):
+        """Dress a CPUResult in GPUResult clothes (host-only timeline)."""
+        from ..core.pipeline import GPUResult
+
+        timeline = Timeline()
+        for stage, seconds in cpu_result.times.times.items():
+            timeline.record(stage, "host", seconds, stage=stage)
+        return GPUResult(
+            final=cpu_result.final,
+            times=cpu_result.times,
+            timeline=timeline,
+            edge_mean=cpu_result.edge_mean,
+            flags=self.flags,
+            border_ran_on_gpu=False,
+            reduction_stage2_on_gpu=False,
+            kernel_launches=0,
+            intermediates=dict(cpu_result.intermediates),
+            backend=BACKEND_CPU_FALLBACK,
+        )

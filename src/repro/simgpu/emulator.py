@@ -270,6 +270,10 @@ def run_kernel(
     ``obs`` (a :class:`~repro.obs.RunContext`) records the launch statistics
     as ``repro_emulator_*`` counters plus one debug log line per launch.
     """
+    faults = getattr(obs, "faults", None)
+    if faults is not None:
+        faults.check("kernel", obs,
+                     detail=f"emulate:{kernel_fn.__name__}")
     groups = _validate_ndrange(tuple(global_size), tuple(local_size), device)
     stats = EmulatedKernelLaunch(
         n_groups=int(np.prod(groups)),

@@ -1,0 +1,100 @@
+"""CLI hardening: unusable input exits 2 with one structured line."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.util.io import write_pgm
+
+
+@pytest.fixture
+def src(tmp_path, rng):
+    path = tmp_path / "in.pgm"
+    write_pgm(path, np.rint(rng.uniform(0, 255, (64, 64))))
+    return path
+
+
+def run(capsys, argv):
+    rc = cli_main(argv)
+    captured = capsys.readouterr()
+    return rc, captured.err
+
+
+class TestExitTwo:
+    def test_missing_input_file(self, tmp_path, capsys):
+        rc, err = run(capsys, ["sharpen", str(tmp_path / "nope.pgm"),
+                               str(tmp_path / "out.pgm")])
+        assert rc == 2
+        assert err.count("\n") == 1          # exactly one line
+        assert err.startswith("error: exit=2 kind=")
+        assert "Traceback" not in err
+
+    def test_corrupt_image(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.pgm"
+        bad.write_bytes(b"P5\n64 64\n255\n\x00\x01")  # truncated raster
+        rc, err = run(capsys, ["sharpen", str(bad),
+                               str(tmp_path / "out.pgm")])
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_directory_as_input(self, tmp_path, capsys):
+        trap = tmp_path / "dir.pgm"
+        trap.mkdir()
+        rc, err = run(capsys, ["sharpen", str(trap),
+                               str(tmp_path / "out.pgm")])
+        assert rc == 2
+        assert err.startswith("error: exit=2")
+
+    def test_unsupported_format_keeps_exit_one(self, tmp_path, capsys):
+        # pinned behavior: a *valid path* in a format we don't speak is a
+        # normal error (1), not unusable input (2)
+        weird = tmp_path / "in.bmp"
+        weird.write_bytes(b"BM")
+        rc, err = run(capsys, ["sharpen", str(weird),
+                               str(tmp_path / "out.pgm")])
+        assert rc == 1
+
+    @pytest.mark.parametrize("spec", [
+        "nosuchsite:rate=0.5",
+        "transfer:rate=2.0",
+        "transfer:rate=0.5;seed=x",
+        "transfer",
+    ])
+    def test_bad_fault_spec(self, src, tmp_path, capsys, spec):
+        rc, err = run(capsys, ["sharpen", str(src),
+                               str(tmp_path / "out.pgm"),
+                               "--inject-faults", spec])
+        assert rc == 2
+        assert err.count("\n") == 1
+        assert "kind=FaultSpecError" in err
+        assert "Traceback" not in err
+
+    def test_batch_with_unreadable_frame(self, src, tmp_path, capsys):
+        frames = tmp_path / "frames"
+        frames.mkdir()
+        (frames / "f0.pgm").write_bytes(src.read_bytes())
+        (frames / "f1.pgm").write_bytes(b"garbage, not a pgm")
+        out = tmp_path / "out"
+        rc, err = run(capsys, ["sharpen", str(frames), str(out), "--batch",
+                               "--workers", "1"])
+        assert rc == 2
+        assert "error: exit=2" in err
+
+
+class TestStillWorks:
+    def test_resilient_sharpen_with_faults_succeeds(self, src, tmp_path,
+                                                    capsys):
+        out = tmp_path / "out.pgm"
+        rc = cli_main([
+            "sharpen", str(src), str(out), "--resilient",
+            "--inject-faults", "transfer:rate=0.05,kind=transient;seed=3",
+            "--log-level", "error",
+        ])
+        assert rc == 0
+        assert out.exists()
+
+    def test_plain_sharpen_unaffected(self, src, tmp_path, capsys):
+        out = tmp_path / "out.pgm"
+        assert cli_main(["sharpen", str(src), str(out)]) == 0
+        assert out.exists()

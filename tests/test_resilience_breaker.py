@@ -1,0 +1,133 @@
+"""Circuit breaker state machine: closed -> open -> half-open -> closed."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import RunContext
+from repro.resilience import CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def make(clock, threshold=3, recovery=10.0, obs=None):
+    return CircuitBreaker(threshold, recovery, name="test",
+                          obs=obs, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_recovery_window(self, clock):
+        breaker = make(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        breaker = make(clock, threshold=1, recovery=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()        # the probe slot
+        assert not breaker.allow()    # concurrent caller refused
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self, clock):
+        breaker = make(clock, threshold=1, recovery=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_clock(self, clock):
+        breaker = make(clock, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)            # old window would have expired
+        assert breaker.state == OPEN  # but the clock restarted
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_full_cycle_closed_open_half_open_closed(self, clock):
+        breaker = make(clock, threshold=2, recovery=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestValidationAndMetrics:
+    def test_invalid_config_rejected(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(0, 1.0, clock=clock)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(1, -1.0, clock=clock)
+
+    def test_state_gauge_and_transitions_exported(self, clock):
+        obs = RunContext.create(log_level="error", log_stream=io.StringIO())
+        breaker = make(clock, threshold=1, recovery=1.0, obs=obs)
+
+        def gauge():
+            family = obs.metrics.get("repro_breaker_state")
+            return family.labels(breaker="test").value
+
+        assert gauge() == 0
+        breaker.record_failure()
+        assert gauge() == 1
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        assert gauge() == 2
+        breaker.record_success()
+        assert gauge() == 0
+
+        transitions = obs.metrics.get("repro_breaker_transitions_total")
+        by_target = {c.labels["to"]: c.value for c in transitions.children}
+        assert by_target == {"open": 1, "half-open": 1, "closed": 1}

@@ -1,0 +1,174 @@
+"""Fault plan: spec grammar, deterministic schedules, site accounting."""
+
+import io
+
+import pytest
+
+from repro.errors import (
+    DeviceOOMError,
+    FaultSpecError,
+    KernelLaunchFault,
+    TransferFault,
+    WorkerCrashError,
+    is_transient,
+)
+from repro.obs import RunContext
+from repro.resilience import FaultPlan
+from repro.resilience.faults import SITES, SiteSpec
+
+
+def quiet_obs(faults=None):
+    return RunContext.create(log_level="error", log_stream=io.StringIO(),
+                             faults=faults)
+
+
+class TestSpecParsing:
+    def test_single_site(self):
+        plan = FaultPlan.parse("transfer:rate=0.2,kind=transient")
+        spec = plan.sites["transfer"]
+        assert spec.rate == 0.2
+        assert spec.kind == "transient"
+        assert plan.seed == 0
+
+    def test_rate_shorthand_and_seed(self):
+        plan = FaultPlan.parse("kernel:1.0,kind=permanent;seed=7")
+        assert plan.sites["kernel"].rate == 1.0
+        assert plan.sites["kernel"].kind == "permanent"
+        assert plan.seed == 7
+
+    def test_multi_site_with_after_and_max(self):
+        plan = FaultPlan.parse("oom:rate=0.05;worker:rate=0.01,max=2,after=3")
+        assert plan.sites["oom"].rate == 0.05
+        assert plan.sites["worker"].max_faults == 2
+        assert plan.sites["worker"].after == 3
+
+    def test_describe_roundtrips(self):
+        plan = FaultPlan.parse("transfer:rate=0.2;kernel:0.1,kind=permanent;"
+                               "seed=3")
+        again = FaultPlan.parse(plan.describe())
+        assert again.sites == plan.sites
+        assert again.seed == plan.seed
+
+    @pytest.mark.parametrize("spec", [
+        "",
+        "   ",
+        "seed=5",                      # no sites configured
+        "transfer",                    # missing params
+        "transfer:",                   # empty params
+        "nosuchsite:rate=0.5",
+        "transfer:rate=1.5",           # rate out of range
+        "transfer:rate=-0.1",
+        "transfer:rate=abc",
+        "transfer:kind=flaky",
+        "transfer:after=-1",
+        "transfer:max=-2",
+        "transfer:bogus=1",
+        "transfer:rate=0.5;transfer:rate=0.1",  # duplicate site
+        "transfer:rate=0.5;seed=x",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_unknown_site_in_constructor(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan({"dma": SiteSpec(rate=0.1)})
+
+
+class TestInjection:
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan.parse("transfer:rate=1.0")
+        with pytest.raises(TransferFault):
+            plan.check("transfer")
+        assert plan.injected["transfer"] == 1
+        assert plan.checks["transfer"] == 1
+
+    def test_rate_zero_and_unconfigured_sites_never_fire(self):
+        plan = FaultPlan.parse("transfer:rate=0.0;kernel:rate=1.0")
+        for _ in range(50):
+            plan.check("transfer")
+        plan.check("oom")  # not configured at all
+        assert plan.injected.get("transfer", 0) == 0
+
+    def test_site_error_classes(self):
+        cases = {
+            "transfer": TransferFault,
+            "kernel": KernelLaunchFault,
+            "oom": DeviceOOMError,
+            "worker": WorkerCrashError,
+        }
+        assert set(cases) == set(SITES)
+        for site, exc_type in cases.items():
+            plan = FaultPlan.parse(f"{site}:rate=1.0")
+            with pytest.raises(exc_type) as exc_info:
+                plan.check(site)
+            assert exc_info.value.injected is True
+
+    def test_kind_controls_transience(self):
+        plan = FaultPlan.parse("transfer:rate=1.0,kind=permanent;"
+                               "kernel:rate=1.0,kind=transient")
+        with pytest.raises(TransferFault) as exc_info:
+            plan.check("transfer")
+        assert not is_transient(exc_info.value)
+        with pytest.raises(KernelLaunchFault) as exc_info:
+            plan.check("kernel")
+        assert is_transient(exc_info.value)
+
+    def test_after_skips_initial_checks(self):
+        plan = FaultPlan.parse("transfer:rate=1.0,after=3")
+        for _ in range(3):
+            plan.check("transfer")
+        with pytest.raises(TransferFault):
+            plan.check("transfer")
+
+    def test_max_caps_injections(self):
+        plan = FaultPlan.parse("transfer:rate=1.0,max=2")
+        for _ in range(2):
+            with pytest.raises(TransferFault):
+                plan.check("transfer")
+        for _ in range(10):
+            plan.check("transfer")  # cap reached: no more faults
+        assert plan.injected["transfer"] == 2
+        assert plan.total_injected() == 2
+
+    def test_schedule_is_deterministic_per_seed(self):
+        def fire_pattern(seed):
+            plan = FaultPlan.parse(f"transfer:rate=0.3;seed={seed}")
+            pattern = []
+            for _ in range(64):
+                try:
+                    plan.check("transfer")
+                    pattern.append(False)
+                except TransferFault:
+                    pattern.append(True)
+            return pattern
+
+        assert fire_pattern(5) == fire_pattern(5)
+        assert fire_pattern(5) != fire_pattern(6)
+
+    def test_sites_draw_independent_streams(self):
+        plan = FaultPlan.parse("transfer:rate=0.5;kernel:rate=0.5;seed=1")
+
+        def pattern(site):
+            out = []
+            for _ in range(32):
+                try:
+                    plan.check(site)
+                    out.append(False)
+                except Exception:
+                    out.append(True)
+            return out
+
+        assert pattern("transfer") != pattern("kernel")
+
+    def test_metric_and_log_on_injection(self):
+        plan = FaultPlan.parse("transfer:rate=1.0,max=3")
+        stream = io.StringIO()
+        obs = RunContext.create(log_level="warning", log_stream=stream,
+                                faults=plan)
+        for _ in range(3):
+            with pytest.raises(TransferFault):
+                plan.check("transfer", obs, detail="unit-test")
+        counter = obs.metrics.get("repro_faults_injected_total")
+        assert counter.labels(site="transfer").value == 3
+        assert "fault.injected" in stream.getvalue()
