@@ -1,0 +1,174 @@
+"""Lifecycle soak: durable jobs under sustained fault pressure.
+
+Cycles durable batch jobs for ``REPRO_SOAK_SECONDS`` (default 60):
+
+* every job runs with ~10% transient faults on the transfer/kernel sites
+  (retried and healed by the resilience layer underneath the journal);
+* every few jobs, one frame is forced to hang and the watchdog
+  (``hang_timeout``) must cancel and dead-letter it, after which a
+  ``--replay-failures`` pass heals the job to a clean checkpoint;
+* after every job the checkpoint is audited: the manifest loads, the
+  journal replays, and the replayed completion set matches the output
+  files on disk, bit for bit with a fault-free reference run;
+* the final cycle runs the real CLI in a subprocess, SIGTERMs it
+  mid-batch, and requires a clean drain — exit code 3, manifest state
+  ``drained``, resumable to completion with exit code 0.
+
+Exits non-zero on the first violated invariant.  Not collected by
+pytest (the file name matches neither ``test_*`` nor ``bench_*``); CI
+runs it directly: ``PYTHONPATH=src python benchmarks/soak_lifecycle.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import RunContext
+from repro.lifecycle import BatchJob, JobJournal, LifecycleConfig, Manifest
+from repro.resilience import FaultPlan
+from repro.util import images
+from repro.util.io import write_pgm
+
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "60"))
+SIZE, N_FRAMES = 128, 24
+TRANSIENT = "transfer:rate=0.08,kind=transient;kernel:rate=0.04,kind=transient"
+FORCED_HANG = ";hang:rate=1.0,max=1,seconds=120"
+HANG_EVERY = 3  # every third job includes the forced hang
+
+SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+
+def fail(msg: str) -> None:
+    print(f"SOAK FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def audit(job_dir, out_dir, reference, *, expect_state) -> None:
+    """A checkpoint must always be loadable and agree with the disk."""
+    manifest = Manifest.load(job_dir)
+    if manifest.state != expect_state:
+        fail(f"manifest state {manifest.state!r} != {expect_state!r}")
+    state = JobJournal.replay(job_dir)
+    for fid in state.completed:
+        got = (pathlib.Path(out_dir) / fid).read_bytes()
+        if got != reference[fid]:
+            fail(f"output {fid} diverged from the fault-free reference")
+    health = json.loads(
+        (pathlib.Path(job_dir) / "health.json").read_text())
+    if health["completed"] != len(state.completed):
+        fail(f"health says {health['completed']} completed, journal says "
+             f"{len(state.completed)}")
+
+
+def main() -> None:
+    t0 = time.monotonic()
+    work = pathlib.Path(tempfile.mkdtemp(prefix="repro-soak-"))
+    frames_dir = work / "frames"
+    frames_dir.mkdir()
+    for i, frame in enumerate(
+            images.video_sequence(SIZE, SIZE, N_FRAMES, seed=11)):
+        write_pgm(frames_dir / f"f{i:03d}.pgm", frame)
+    inputs = sorted(frames_dir.glob("*.pgm"))
+
+    # Fault-free reference outputs (the bit-identity oracle).
+    ref_job = BatchJob(inputs=inputs, output_dir=work / "ref-out",
+                       job_dir=work / "ref-job", workers=2,
+                       lifecycle=LifecycleConfig(fsync=False))
+    if ref_job.run().exit_code != 0:
+        fail("reference run failed")
+    reference = {p.name: p.read_bytes()
+                 for p in sorted((work / "ref-out").glob("*.pgm"))}
+    audit(work / "ref-job", work / "ref-out", reference,
+          expect_state="completed")
+
+    cycles = hangs = frames_done = 0
+    budget = max(10.0, SOAK_SECONDS - 15.0)  # reserve time for the drain
+    while time.monotonic() - t0 < budget:
+        cycles += 1
+        forced_hang = cycles % HANG_EVERY == 0
+        spec = TRANSIENT + (FORCED_HANG if forced_hang else "")
+        spec += f";seed={cycles}"
+        obs = RunContext.create(f"soak-{cycles}", log_level="error",
+                                faults=FaultPlan.parse(spec))
+        job_dir = work / f"job-{cycles}"
+        out_dir = work / f"out-{cycles}"
+        job = BatchJob(
+            inputs=inputs, output_dir=out_dir, job_dir=job_dir,
+            workers=2, obs=obs,
+            lifecycle=LifecycleConfig(hang_timeout=1.0,
+                                      watchdog_interval=0.05),
+        )
+        outcome = job.run()
+        frames_done += outcome.executed
+        if forced_hang:
+            if len(outcome.failed) != 1 or outcome.exit_code != 1:
+                fail(f"cycle {cycles}: expected exactly the forced hang "
+                     f"to dead-letter, got failed={outcome.failed} "
+                     f"exit={outcome.exit_code}")
+            hangs += 1
+            audit(job_dir, out_dir, reference, expect_state="completed")
+            healed = BatchJob.resume(
+                job_dir, lifecycle=LifecycleConfig(fsync=False))
+            heal = healed.run(replay_failures=True)
+            frames_done += heal.executed
+            if heal.exit_code != 0 or heal.executed != 1:
+                fail(f"cycle {cycles}: replay-failures did not heal: "
+                     f"exit={heal.exit_code} executed={heal.executed}")
+        elif outcome.exit_code != 0:
+            fail(f"cycle {cycles}: transient faults leaked through the "
+                 f"resilience layer: exit={outcome.exit_code} "
+                 f"failed={outcome.failed}")
+        audit(job_dir, out_dir, reference, expect_state="completed")
+
+    # Final cycle: real process, real SIGTERM, must drain cleanly.
+    job_dir = work / "drain-job"
+    out_dir = work / "drain-out"
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "sharpen",
+         str(frames_dir / "*.pgm"), str(out_dir), "--batch",
+         "--job-dir", str(job_dir), "--workers", "1",
+         "--inject-faults", "hang:rate=1.0,seconds=0.25;seed=5",
+         "--drain-timeout", "30", "--hang-timeout", "30"],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+    journal = job_dir / "journal.jsonl"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if journal.exists() and '"status":"completed"' in journal.read_text():
+            break
+        time.sleep(0.05)
+    else:
+        proc.kill()
+        fail("drain cycle: no frame completed within 60s")
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=60)
+    if proc.returncode != 3:
+        fail(f"drain cycle: expected exit 3, got {proc.returncode}: {err}")
+    audit(job_dir, out_dir, reference, expect_state="drained")
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro", "sharpen", "--resume",
+         str(job_dir)], env=env, capture_output=True, text=True)
+    if resumed.returncode != 0:
+        fail(f"drain cycle: resume failed: {resumed.stderr}")
+    audit(job_dir, out_dir, reference, expect_state="completed")
+    if {p.name for p in out_dir.glob("*.pgm")} != set(reference):
+        fail("drain cycle: resumed output set incomplete")
+
+    elapsed = time.monotonic() - t0
+    shutil.rmtree(work, ignore_errors=True)
+    print(f"SOAK OK: {elapsed:.0f}s, {cycles} fault cycles, "
+          f"{frames_done} frames, {hangs} forced hangs cancelled+healed, "
+          f"1 drain/resume cycle")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,9 @@ Packages:
   (pass a :class:`~repro.obs.RunContext` as ``obs=`` to either pipeline);
 * :mod:`repro.resilience` — fault injection, retry/timeout policies,
   circuit breaker and the GPU->CPU :class:`~repro.resilience.FallbackPipeline`;
+* :mod:`repro.lifecycle` — durable batch jobs: crash-safe write-ahead
+  journal, checkpoint/resume, graceful shutdown, hang watchdog and the
+  job health surface (:class:`~repro.lifecycle.BatchJob`);
 * :mod:`repro.experiments` — per-table/figure reproduction harness.
 """
 
@@ -56,6 +59,7 @@ from .errors import (
     DeviceFault,
     DeviceOOMError,
     FaultSpecError,
+    FrameHangError,
     FrameTimeoutError,
     GlobalMemoryError,
     InvalidBufferError,
@@ -75,6 +79,17 @@ from .errors import (
     ValidationError,
     WorkerCrashError,
     is_transient,
+)
+from .lifecycle import (
+    BatchJob,
+    HealthReporter,
+    JobJournal,
+    JobOutcome,
+    JournalState,
+    LifecycleConfig,
+    Manifest,
+    ShutdownCoordinator,
+    Watchdog,
 )
 from .obs import MetricsRegistry, RunContext
 from .resilience import (
@@ -118,6 +133,16 @@ __all__ = [
     "RetryBudget",
     "RetryPolicy",
     "Timeout",
+    # lifecycle layer (durable jobs)
+    "BatchJob",
+    "HealthReporter",
+    "JobJournal",
+    "JobOutcome",
+    "JournalState",
+    "LifecycleConfig",
+    "Manifest",
+    "ShutdownCoordinator",
+    "Watchdog",
     # exception hierarchy
     "ReproError",
     "ValidationError",
@@ -141,6 +166,7 @@ __all__ = [
     "KernelLaunchFault",
     "DeviceOOMError",
     "WorkerCrashError",
+    "FrameHangError",
     "FrameTimeoutError",
     "CircuitOpenError",
     "RetryExhaustedError",

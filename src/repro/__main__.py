@@ -32,9 +32,25 @@ Resilience (see ``docs/resilience.md``): ``--resilient`` runs frames under
 retry + circuit-breaker + GPU->CPU fallback policies; ``--inject-faults
 SPEC`` arms the deterministic fault injector (e.g.
 ``'transfer:rate=0.2,kind=transient;seed=7'``) to rehearse failures.
-Unusable inputs — unreadable or corrupt image files, malformed fault
-specs — exit with code 2 and a one-line structured error; runtime
-failures keep exit code 1.
+
+Durable jobs (see ``docs/lifecycle.md``) make a batch crash-safe::
+
+    python -m repro sharpen 'frames/*.pgm' out_dir --batch \
+        --job-dir job/ --hang-timeout 30 --health-out health.json
+    python -m repro sharpen --resume job/            # after a crash/drain
+    python -m repro sharpen --replay-failures job/   # re-run dead letters
+
+``--job-dir`` journals every frame outcome (fsync'd write-ahead log +
+atomically rotated checkpoint manifest), so a killed job resumes where it
+stopped, bit-identical to an uninterrupted run.  SIGTERM/SIGINT drains
+gracefully (finish in-flight frames under ``--drain-timeout``); a second
+signal aborts.  ``--hang-timeout`` arms the watchdog that cancels stuck
+frames.
+
+Exit-code contract (tested by ``tests/test_cli_errors.py``):
+0 success; 1 runtime failure (some frames dead-lettered, or an engine
+error); 2 unusable input/configuration; 3 drained with pending frames
+(resumable); 4 aborted (checkpoint still valid).
 """
 
 from __future__ import annotations
@@ -203,9 +219,72 @@ def cmd_batch(args, params, obs) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_durable(args, params, obs) -> int:
+    """Run (or resume) a crash-safe batch job (see docs/lifecycle.md)."""
+    from .lifecycle import BatchJob, LifecycleConfig
+
+    lifecycle = LifecycleConfig(
+        drain_timeout=args.drain_timeout,
+        hang_timeout=args.hang_timeout,
+        health_path=args.health_out,
+        install_signals=True,
+    )
+    resume_dir = args.resume or args.replay_failures
+    if resume_dir:
+        if args.input or args.output:
+            raise UsageError(
+                "--resume/--replay-failures take the job directory; "
+                "drop the input/output arguments (they come from the "
+                "job manifest)"
+            )
+        job = BatchJob.resume(resume_dir, obs=obs, lifecycle=lifecycle)
+    else:
+        if args.input is None or args.output is None:
+            raise UsageError(
+                "--job-dir needs the input frames and the output "
+                "directory (or use --resume <job-dir>)"
+            )
+        if args.pipeline == "cpu":
+            raise ReproError("--job-dir drives the GPU pipelines; "
+                             "use --pipeline gpu or gpu-base")
+        frames = _batch_inputs(args.input)
+        flags = BASE if args.pipeline == "gpu-base" else OPTIMIZED
+        job = BatchJob(
+            inputs=frames, output_dir=args.output, job_dir=args.job_dir,
+            flags=flags, params=params, workers=args.workers,
+            obs=obs, lifecycle=lifecycle,
+        )
+    with obs.span("cli.durable_job", job_dir=str(job.job_dir)):
+        outcome = job.run(replay_failures=bool(args.replay_failures))
+    print(
+        f"[job] {outcome.state}: {len(outcome.completed)}/"
+        f"{len(job.frame_ids)} frames completed, "
+        f"{len(outcome.failed)} failed, {len(outcome.pending)} pending "
+        f"({outcome.executed} executed this run) -> {job.output_dir}",
+        file=sys.stderr,
+    )
+    for fid in outcome.failed:
+        print(f"[job] failed frame: {fid} "
+              f"(re-run with --replay-failures {job.job_dir})",
+              file=sys.stderr)
+    if outcome.pending:
+        print(f"[job] resume with: python -m repro sharpen "
+              f"--resume {job.job_dir}", file=sys.stderr)
+    return outcome.exit_code
+
+
 def cmd_sharpen(args) -> int:
     params = _build_params(args)
     obs = _make_obs(args)
+    if args.job_dir or args.resume or args.replay_failures:
+        code = cmd_durable(args, params, obs)
+        _write_exports(args, obs)
+        return code
+    if args.input is None or args.output is None:
+        raise UsageError(
+            "input and output are required (omit them only with "
+            "--resume/--replay-failures)"
+        )
     if args.batch:
         code = cmd_batch(args, params, obs)
         _write_exports(args, obs)
@@ -259,8 +338,8 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sharpen = sub.add_parser("sharpen", help="sharpen a PGM/PPM file")
-    p_sharpen.add_argument("input")
-    p_sharpen.add_argument("output")
+    p_sharpen.add_argument("input", nargs="?", default=None)
+    p_sharpen.add_argument("output", nargs="?", default=None)
     p_sharpen.add_argument("--pipeline", choices=PIPELINES, default="gpu")
     p_sharpen.add_argument("--preset", choices=sorted(PRESETS),
                            default="default")
@@ -287,7 +366,37 @@ def main(argv: list[str] | None = None) -> int:
                            default=None, metavar="SPEC",
                            help="deterministic fault injection, e.g. "
                                 "'transfer:rate=0.2,kind=transient;seed=7'"
-                                " (sites: transfer, kernel, oom, worker)")
+                                " (sites: transfer, kernel, oom, worker, "
+                                "hang)")
+    p_sharpen.add_argument("--job-dir", dest="job_dir", default=None,
+                           metavar="DIR",
+                           help="run the batch as a durable job: journal "
+                                "every frame outcome into DIR so the job "
+                                "is crash-safe and resumable (see "
+                                "docs/lifecycle.md)")
+    p_sharpen.add_argument("--resume", default=None, metavar="DIR",
+                           help="resume a durable job from its job "
+                                "directory; completed frames are skipped, "
+                                "pending/failed frames re-run")
+    p_sharpen.add_argument("--replay-failures", dest="replay_failures",
+                           default=None, metavar="DIR",
+                           help="re-enqueue only the dead-lettered frames "
+                                "of a durable job")
+    p_sharpen.add_argument("--drain-timeout", dest="drain_timeout",
+                           type=float, default=10.0, metavar="SECONDS",
+                           help="graceful-shutdown budget: how long the "
+                                "first SIGTERM/SIGINT lets in-flight "
+                                "frames finish (default: 10)")
+    p_sharpen.add_argument("--hang-timeout", dest="hang_timeout",
+                           type=float, default=None, metavar="SECONDS",
+                           help="watchdog whole-frame deadline; frames "
+                                "stuck longer are cancelled and "
+                                "dead-lettered (default: off)")
+    p_sharpen.add_argument("--health-out", dest="health_out", default=None,
+                           metavar="PATH",
+                           help="write the job's liveness/readiness/"
+                                "progress JSON here (default: "
+                                "<job-dir>/health.json)")
     p_sharpen.add_argument("--log-level", dest="log_level",
                            choices=sorted(LEVELS, key=LEVELS.get),
                            default="warning",

@@ -36,6 +36,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,19 +50,25 @@ from .bufferpool import BufferPool
 from .config import OPTIMIZED, OptimizationFlags
 from .pipeline import GPUPipeline, GPUResult
 from .plan import PlanCache
-from .stream import FrameStats, frame_stats
+from .stream import FrameStats, frame_stats, resolve_frame_id
 
 FRAMES_FAILED = "repro_frames_failed_total"
+
+#: How often a hook-driven run polls futures / the admission semaphore
+#: while waiting, so drain deadlines and hang verdicts are honored
+#: promptly.  Hook-free runs keep the original fully-blocking waits.
+_POLL_S = 0.05
 
 
 @dataclass
 class FrameFailure:
-    """One dead-lettered frame: position, error, and attempt count."""
+    """One dead-lettered frame: position, stable id, error, attempts."""
 
     index: int
     error: str
     error_type: str
     attempts: int = 1
+    frame_id: str = ""
 
 
 @dataclass
@@ -82,6 +89,14 @@ class BatchResult:
     plan_stats: dict[str, int] = field(default_factory=dict)
     pool_stats: dict[str, int] = field(default_factory=dict)
     dead_letters: list[FrameFailure] = field(default_factory=list)
+    #: Lifecycle hooks stopped the run early (drain, load shed, abort):
+    #: frames past the stop point were never admitted and in-flight frames
+    #: listed in ``abandoned`` were dropped without waiting.
+    interrupted: bool = False
+    #: ``(index, frame_id)`` of in-flight frames dropped at shutdown; they
+    #: produced no FrameStats slot and are *not* dead letters — a resumed
+    #: job simply runs them again.
+    abandoned: list[tuple[int, str]] = field(default_factory=list)
 
     @property
     def n_frames(self) -> int:
@@ -93,8 +108,9 @@ class BatchResult:
 
     @property
     def ok(self) -> bool:
-        """Did every frame produce pixels (GPU or fallback)?"""
-        return not self.dead_letters
+        """Did every admitted frame produce pixels (GPU or fallback)?"""
+        return (not self.dead_letters and not self.interrupted
+                and not self.abandoned)
 
     def backends(self) -> dict[str, int]:
         """Frame count per serving backend (gpu / cpu-fallback / failed)."""
@@ -169,6 +185,26 @@ class BatchEngine:
     timeout:
         Per-frame execution deadline in seconds (must be > 0); feeds the
         resilience layer's retry-deadline check.
+    hooks:
+        Optional lifecycle hooks (duck-typed; see
+        :class:`~repro.lifecycle.job.EngineHooks` for the reference
+        implementation).  The engine consults/calls, in order:
+
+        * ``admit() -> bool`` before admitting each frame — ``False``
+          stops admission (drain / load shed) and the run finishes with
+          ``interrupted=True``;
+        * ``frame_started(index, frame_id) -> threading.Event | None`` /
+          ``frame_finished(index)`` from the worker thread around each
+          frame (the returned event is the frame's cooperative
+          cancellation token, honored by the ``hang`` fault site);
+        * ``is_hung(index) -> bool`` while collecting — a hung in-flight
+          frame is absorbed as a ``FrameHangError`` dead letter without
+          waiting for its worker;
+        * ``abandon() -> bool`` while draining — ``True`` drops the
+          remaining in-flight frames (recorded in ``abandoned``);
+        * ``on_frame(index=..., frame_id=..., stats=..., output=...,
+          edge_mean=..., failure=...)`` after each frame is absorbed, in
+          submission order — the journaling point.
     """
 
     def __init__(self, flags: OptimizationFlags = OPTIMIZED,
@@ -178,7 +214,8 @@ class BatchEngine:
                  keep_outputs: bool = False,
                  obs: RunContext | None = None,
                  resilience=None,
-                 timeout: float | None = None) -> None:
+                 timeout: float | None = None,
+                 hooks=None) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if timeout is not None and timeout <= 0:
@@ -201,6 +238,7 @@ class BatchEngine:
         self.keep_outputs = keep_outputs
         self.obs = obs or NULL_CONTEXT
         self.timeout = timeout
+        self.hooks = hooks
         self.resilience = self._effective_resilience(resilience)
         self.plan_cache = PlanCache()
         self._worker_obs = _worker_view(self.obs)
@@ -250,17 +288,40 @@ class BatchEngine:
             self._local.pipeline = pipe
         return pipe
 
-    def _process(self, index: int, frame):
-        if not isinstance(frame, Image):
-            frame = Image.from_array(np.asarray(frame))
-        if self.resilience is None:
-            if self.obs.faults is not None:
-                self.obs.faults.check("worker", self._worker_obs,
-                                      detail=f"frame:{index}")
-            return self._pipeline().run(frame), 1
-        return self._process_resilient(index, frame)
+    def _process(self, index: int, frame, frame_id: str = ""):
+        hooks = self.hooks
+        cancel = None
+        if hooks is not None:
+            cancel = hooks.frame_started(index, frame_id)
+        try:
+            if not isinstance(frame, Image):
+                frame = Image.from_array(np.asarray(frame))
+            faults = self.obs.faults
+            if faults is not None:
+                # The hang site stalls (cooperatively cancellable); a
+                # cancelled hang dies here as a FrameHangError.
+                try:
+                    faults.check("hang", self._worker_obs,
+                                 detail=f"frame:{index}", cancel=cancel)
+                except ReproError as exc:
+                    if (self.resilience is None
+                            or not self.resilience.isolate):
+                        raise
+                    return FrameFailure(
+                        index=index, frame_id=frame_id, error=str(exc),
+                        error_type=type(exc).__name__, attempts=1,
+                    ), 1
+            if self.resilience is None:
+                if faults is not None:
+                    faults.check("worker", self._worker_obs,
+                                 detail=f"frame:{index}")
+                return self._pipeline().run(frame), 1
+            return self._process_resilient(index, frame, frame_id)
+        finally:
+            if hooks is not None:
+                hooks.frame_finished(index)
 
-    def _process_resilient(self, index: int, frame):
+    def _process_resilient(self, index: int, frame, frame_id: str = ""):
         """One frame under the resilience policies.
 
         The ``worker`` fault site fires here — a simulated worker crash.
@@ -301,14 +362,15 @@ class BatchEngine:
         if not self.resilience.isolate:
             raise last_exc
         return FrameFailure(
-            index=index, error=str(last_exc),
+            index=index, frame_id=frame_id, error=str(last_exc),
             error_type=type(last_exc).__name__,
             attempts=min(attempt, policy.max_attempts),
         ), attempt
 
     # -- main entry ------------------------------------------------------------
 
-    def run(self, frames=None, *, source=None) -> BatchResult:
+    def run(self, frames=None, *, source=None,
+            frame_ids=None) -> BatchResult:
         """Process ``frames`` (iterable of arrays or Images), preserving
         order; blocks until every frame is done.
 
@@ -316,6 +378,12 @@ class BatchEngine:
         returning the frame iterable, invoked once at run start (a
         non-callable source is a :class:`~repro.errors.ConfigError` —
         caught here rather than deep in the worker pool).
+
+        ``frame_ids`` assigns each frame its stable identity (a sequence
+        aligned with the stream or a ``callable(index, frame) -> str``);
+        omitted, frames get positional ids — fine for ad-hoc batches, but
+        durable jobs should pass real ids so checkpoints survive
+        reordered/renamed inputs.
         """
         if source is not None:
             if frames is not None:
@@ -331,11 +399,12 @@ class BatchEngine:
         if frames is None:
             raise ConfigError("no frames: pass an iterable or source=")
         obs = self.obs
+        hooks = self.hooks
         result = BatchResult(workers=self.workers)
         inflight = threading.BoundedSemaphore(self.queue_depth)
         pending: deque = deque()
 
-        def _absorb(index: int, res, attempts: int) -> None:
+        def _absorb(index: int, fid: str, res, attempts: int) -> None:
             """Fold one frame outcome into the ordered result."""
             if isinstance(res, FrameFailure):
                 result.dead_letters.append(res)
@@ -343,7 +412,7 @@ class BatchEngine:
                     index=index, serial_time=0.0, overlapped_time=0.0,
                     transfer_time=0.0, device_time=0.0, host_time=0.0,
                     backend="failed", error=res.error,
-                    attempts=res.attempts,
+                    attempts=res.attempts, frame_id=fid,
                 ))
                 result.edge_means.append(float("nan"))
                 if self.keep_outputs:
@@ -354,21 +423,90 @@ class BatchEngine:
                         "Frames that failed after retries/fallback",
                     ).inc()
                     obs.log.error(
-                        "batch.frame_failed", frame=index,
+                        "batch.frame_failed", frame=index, frame_id=fid,
                         error_type=res.error_type, error=res.error,
                         attempts=res.attempts,
                     )
-                return
-            result.frames.append(frame_stats(index, res, attempts))
-            result.edge_means.append(res.edge_mean)
-            if self.keep_outputs:
-                result.outputs.append(res.final)
+            else:
+                result.frames.append(
+                    frame_stats(index, res, attempts, frame_id=fid))
+                result.edge_means.append(res.edge_mean)
+                if self.keep_outputs:
+                    result.outputs.append(res.final)
+            if hooks is not None:
+                failed = isinstance(res, FrameFailure)
+                hooks.on_frame(
+                    index=index, frame_id=fid, stats=result.frames[-1],
+                    output=None if failed else res.final,
+                    edge_mean=result.edge_means[-1],
+                    failure=res if failed else None,
+                )
+
+        def _abandon_pending() -> None:
+            """Drop every still-in-flight frame (drain deadline/abort)."""
+            result.interrupted = True
+            while pending:
+                index, fid, _future = pending.popleft()
+                result.abandoned.append((index, fid))
+                if obs.enabled:
+                    obs.log.warning(
+                        "batch.frame_abandoned", frame=index, frame_id=fid,
+                    )
 
         def _collect(block: bool) -> None:
-            while pending and (block or pending[0][1].done()):
-                index, future = pending.popleft()
-                res, attempts = future.result()
-                _absorb(index, res, attempts)
+            while pending:
+                index, fid, future = pending[0]
+                done = future.done()
+                if (not done and hooks is not None
+                        and hooks.is_hung(index)):
+                    # Hung verdict from the watchdog: dead-letter the
+                    # frame now instead of waiting on its worker (the
+                    # cancel token reclaims the thread cooperatively).
+                    pending.popleft()
+                    _absorb(index, fid, FrameFailure(
+                        index=index, frame_id=fid,
+                        error=f"frame {fid or index} exceeded the hang "
+                              "threshold and was abandoned by the "
+                              "watchdog",
+                        error_type="FrameHangError", attempts=1,
+                    ), 1)
+                    continue
+                if done:
+                    # A frame that finished after being declared hung
+                    # still lands here with its real result — keep it
+                    # (the hang counter already recorded the detection).
+                    pending.popleft()
+                    res, attempts = future.result()
+                    _absorb(index, fid, res, attempts)
+                    continue
+                if not block:
+                    return
+                if hooks is None:
+                    res, attempts = future.result()
+                    pending.popleft()
+                    _absorb(index, fid, res, attempts)
+                    continue
+                if hooks.abandon():
+                    _abandon_pending()
+                    return
+                try:
+                    future.result(timeout=_POLL_S)
+                except FuturesTimeout:
+                    continue
+                # Completed within the poll window: absorbed next pass.
+
+        def _admit(index: int) -> bool:
+            """Acquire a backpressure slot, honoring lifecycle stops."""
+            if hooks is None:
+                inflight.acquire()
+                return True
+            while True:
+                if not hooks.admit():
+                    result.interrupted = True
+                    return False
+                if inflight.acquire(timeout=_POLL_S):
+                    return True
+                _collect(block=False)
 
         start = time.perf_counter()
         with obs.trace.span("batch.run", workers=self.workers):
@@ -378,22 +516,36 @@ class BatchEngine:
                 # handoff + context switch per frame (~2 ms/frame measured
                 # on a single-core host).
                 for index, frame in enumerate(frames):
-                    res, attempts = self._process(index, frame)
-                    _absorb(index, res, attempts)
+                    if hooks is not None and not hooks.admit():
+                        result.interrupted = True
+                        break
+                    fid = resolve_frame_id(frame_ids, index, frame)
+                    res, attempts = self._process(index, frame, fid)
+                    _absorb(index, fid, res, attempts)
             else:
-                with ThreadPoolExecutor(
-                        max_workers=self.effective_workers,
-                        thread_name_prefix="repro-batch") as pool:
+                pool = ThreadPoolExecutor(
+                    max_workers=self.effective_workers,
+                    thread_name_prefix="repro-batch")
+                try:
                     for index, frame in enumerate(frames):
-                        inflight.acquire()  # backpressure: bound in-flight
-                        future = pool.submit(self._process, index, frame)
+                        if not _admit(index):  # backpressure + lifecycle
+                            break
+                        fid = resolve_frame_id(frame_ids, index, frame)
+                        future = pool.submit(
+                            self._process, index, frame, fid)
                         future.add_done_callback(
                             lambda _f: inflight.release())
-                        pending.append((index, future))
+                        pending.append((index, fid, future))
                         _collect(block=False)
                     _collect(block=True)
+                finally:
+                    # An interrupted run must not wait on abandoned (and
+                    # possibly hung) workers; cooperative hang cancel
+                    # reclaims their threads in the background.
+                    pool.shutdown(wait=not result.interrupted,
+                                  cancel_futures=result.interrupted)
         result.wall_seconds = time.perf_counter() - start
-        if not result.frames:
+        if not result.frames and not result.interrupted:
             raise ValidationError("empty frame sequence")
         result.plan_stats = self.plan_cache.stats()
         result.pool_stats = self.buffer_pool.stats()

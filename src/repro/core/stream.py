@@ -28,6 +28,16 @@ from .config import OPTIMIZED, OptimizationFlags
 from .pipeline import GPUPipeline, GPUResult
 
 
+def default_frame_id(index: int) -> str:
+    """Stable fallback frame id when the caller has no natural key.
+
+    Zero-padded so lexicographic order matches submission order; callers
+    with durable identities (file names, content hashes) should pass their
+    own ids — positional ids do not survive reordered inputs.
+    """
+    return f"{index:06d}"
+
+
 @dataclass
 class FrameStats:
     """Per-frame record of one stream run.
@@ -35,7 +45,10 @@ class FrameStats:
     ``backend`` says who produced the frame (``"gpu"``, ``"cpu-fallback"``
     when the resilience layer degraded, ``"failed"`` for an isolated
     per-frame failure); ``error``/``attempts`` carry the failure message
-    and the number of execution attempts the frame took.
+    and the number of execution attempts the frame took.  ``frame_id`` is
+    the frame's *stable* identity (input file name, content hash, or the
+    positional :func:`default_frame_id`) — checkpoints and journals key on
+    it so a resumed job survives reordered or renamed inputs.
     """
 
     index: int
@@ -47,6 +60,7 @@ class FrameStats:
     backend: str = "gpu"
     error: str | None = None
     attempts: int = 1
+    frame_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -110,8 +124,21 @@ def _overlapped_frame_time(transfer: float, device: float,
     return max(transfer, device) + host
 
 
+def resolve_frame_id(frame_ids, index: int, frame) -> str:
+    """Resolve one frame's stable id from a ``frame_ids`` argument.
+
+    ``frame_ids`` is either ``None`` (positional fallback), a sequence
+    aligned with the frame stream, or a ``callable(index, frame) -> str``.
+    """
+    if frame_ids is None:
+        return default_frame_id(index)
+    if callable(frame_ids):
+        return str(frame_ids(index, frame))
+    return str(frame_ids[index])
+
+
 def frame_stats(index: int, result: GPUResult,
-                attempts: int = 1) -> FrameStats:
+                attempts: int = 1, frame_id: str = "") -> FrameStats:
     """Decompose one pipeline result into per-frame stream statistics."""
     by_kind = result.timeline.by_kind()
     transfer = by_kind.get("transfer", 0.0)
@@ -126,6 +153,7 @@ def frame_stats(index: int, result: GPUResult,
         host_time=host,
         backend=getattr(result, "backend", "gpu"),
         attempts=attempts,
+        frame_id=frame_id or default_frame_id(index),
     )
 
 
@@ -188,8 +216,13 @@ class StreamProcessor:
     def _frame_stats(self, index: int, result: GPUResult) -> FrameStats:
         return frame_stats(index, result)
 
-    def run(self, frames) -> StreamResult:
-        """Process ``frames`` (arrays or :class:`~repro.types.Image`)."""
+    def run(self, frames, *, frame_ids=None) -> StreamResult:
+        """Process ``frames`` (arrays or :class:`~repro.types.Image`).
+
+        ``frame_ids`` optionally names each frame durably (a sequence
+        aligned with ``frames`` or a ``callable(index, frame) -> str``);
+        omitted, frames get positional :func:`default_frame_id` ids.
+        """
         obs = self.obs
         result = StreamResult(overlap=self.overlap_transfers)
         timelines: list[Timeline] = []
@@ -197,8 +230,9 @@ class StreamProcessor:
             for index, frame in enumerate(frames):
                 if not isinstance(frame, Image):
                     frame = Image.from_array(np.asarray(frame))
+                fid = resolve_frame_id(frame_ids, index, frame)
                 res = self.pipeline.run(frame)
-                result.frames.append(frame_stats(index, res))
+                result.frames.append(frame_stats(index, res, frame_id=fid))
                 timelines.append(res.timeline)
                 if self.keep_outputs:
                     result.outputs.append(res.final)

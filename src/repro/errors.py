@@ -153,6 +153,17 @@ class FrameTimeoutError(ReproError, TransientError):
     """Per-frame execution exceeded its deadline."""
 
 
+class FrameHangError(ReproError):
+    """A frame exceeded the watchdog's hang threshold and was cancelled.
+
+    Distinct from :class:`FrameTimeoutError` (the retry policy's
+    *per-attempt* deadline, transient and retried): a hang is diagnosed by
+    the lifecycle watchdog across the whole frame, the frame is
+    dead-lettered, and the journal marks it for replay on resume —
+    retrying it in the same run would just hang again.
+    """
+
+
 class CircuitOpenError(ReproError):
     """The circuit breaker is open: the protected path is not accepting
     calls and no fallback was configured."""

@@ -1,0 +1,65 @@
+"""Durable batch jobs: journal, checkpoint/resume, shutdown, watchdog,
+health.
+
+The lifecycle layer wraps the throughput engine's batch path in
+process-level durability (see ``docs/lifecycle.md``):
+
+* :class:`JobJournal` / :class:`Manifest` — crash-safe write-ahead
+  journal and atomically-rotated checkpoint header;
+* :class:`BatchJob` — the orchestrator: run, ``--resume``, and
+  ``--replay-failures`` over one job directory;
+* :class:`ShutdownCoordinator` — two-stage drain/abort signal contract
+  plus the CLI exit-code mapping (``EXIT_*``);
+* :class:`FrameWatch` / :class:`Watchdog` — hang detection, cooperative
+  cancellation, load shedding;
+* :class:`HealthReporter` — liveness/readiness/progress JSON and gauges.
+"""
+
+from .health import HEALTH_NAME, HealthReporter, STATE_CODES
+from .journal import (
+    JOB_STATES,
+    JOURNAL_NAME,
+    JobJournal,
+    JournalState,
+    MANIFEST_NAME,
+    Manifest,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+)
+from .job import BatchJob, EngineHooks, JobOutcome, LifecycleConfig
+from .shutdown import (
+    EXIT_ABORTED,
+    EXIT_DRAINED,
+    EXIT_OK,
+    EXIT_RUNTIME,
+    EXIT_USAGE,
+    ShutdownCoordinator,
+)
+from .watchdog import FrameWatch, WATCHDOG_HANGS, Watchdog
+
+__all__ = [
+    "BatchJob",
+    "EngineHooks",
+    "EXIT_ABORTED",
+    "EXIT_DRAINED",
+    "EXIT_OK",
+    "EXIT_RUNTIME",
+    "EXIT_USAGE",
+    "FrameWatch",
+    "HEALTH_NAME",
+    "HealthReporter",
+    "JOB_STATES",
+    "JOURNAL_NAME",
+    "JobJournal",
+    "JobOutcome",
+    "JournalState",
+    "LifecycleConfig",
+    "MANIFEST_NAME",
+    "Manifest",
+    "STATE_CODES",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "ShutdownCoordinator",
+    "WATCHDOG_HANGS",
+    "Watchdog",
+]

@@ -1,0 +1,364 @@
+"""Crash-safe write-ahead journal + checkpoint manifest for batch jobs.
+
+The durability contract has two halves, both living in one *job
+directory*:
+
+``journal.jsonl`` — an append-only JSONL write-ahead log.  Every frame
+outcome is one fsync'd line, appended **after** the frame's output file
+is on disk, so a record saying ``"status": "completed"`` implies the
+pixels exist.  A process killed mid-write leaves at most one torn
+trailing line, which :meth:`JobJournal.replay` skips; duplicated records
+(e.g. a frame journaled again by a replay run) fold idempotently — a
+frame that ever completed stays completed, otherwise its *latest*
+failure wins.
+
+``manifest.json`` — the job's checkpoint header: identity, input frame
+list with stable ids, output directory, engine configuration, and the
+current job state.  It is rotated atomically (hard-link the current
+manifest to ``manifest.json.prev``, then ``os.replace`` the new one into
+place), so a crash during a state transition leaves either the old or
+the new manifest, never a torn one.
+
+Neither file is ever rewritten in place; resume = load manifest + replay
+journal + run the difference.  See ``docs/lifecycle.md`` for the on-disk
+format reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import UsageError, ValidationError
+
+JOURNAL_NAME = "journal.jsonl"
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Frame record statuses.
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+
+#: Job states a manifest / health snapshot can report.  ``drained`` means
+#: the run stopped cleanly with pending frames left (resume finishes
+#: them); ``aborted`` means a forced stop (checkpoint still valid).
+JOB_STATES = ("starting", "running", "draining", "drained", "completed",
+              "aborted", "failed")
+
+
+@dataclass
+class JournalState:
+    """Replayed view of a journal: who completed, who failed, what's left.
+
+    ``torn`` counts unparseable lines that were skipped (a crash tears at
+    most the trailing one; any number is tolerated), ``duplicates``
+    counts frame records that restated an already-known outcome.
+    """
+
+    completed: dict[str, dict] = field(default_factory=dict)
+    failed: dict[str, dict] = field(default_factory=dict)
+    runs: int = 0
+    records: int = 0
+    torn: int = 0
+    duplicates: int = 0
+
+    def status(self, frame_id: str) -> str | None:
+        if frame_id in self.completed:
+            return STATUS_COMPLETED
+        if frame_id in self.failed:
+            return STATUS_FAILED
+        return None
+
+    def pending_of(self, frame_ids: Iterable[str]) -> list[str]:
+        """Frames with no completion record, in the given order."""
+        return [fid for fid in frame_ids if fid not in self.completed]
+
+    def failed_of(self, frame_ids: Iterable[str]) -> list[str]:
+        """Frames whose latest outcome is a failure, in the given order."""
+        return [fid for fid in frame_ids
+                if fid in self.failed and fid not in self.completed]
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL journal of one job directory.
+
+    Thread-safe: the batch engine absorbs frames from one thread, but the
+    watchdog and signal paths may append run-level records concurrently.
+
+    ``fsync=False`` trades crash-safety for speed (records still hit the
+    OS on every append via ``flush``); the lifecycle overhead benchmark
+    measures the default fsync path.
+    """
+
+    def __init__(self, job_dir: str | pathlib.Path, *,
+                 fsync: bool = True) -> None:
+        self.job_dir = pathlib.Path(job_dir)
+        self.path = self.job_dir / JOURNAL_NAME
+        self.fsync = fsync
+        self._fh = None
+        self._lock = threading.Lock()
+
+    # -- writing --------------------------------------------------------------
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (one JSON line + flush + fsync)."""
+        line = json.dumps(dict(record), sort_keys=True,
+                          separators=(",", ":"))
+        if "\n" in line:  # json.dumps never emits one, but the contract
+            raise ValidationError("journal records must be single-line")
+        with self._lock:
+            if self._fh is None:
+                self.job_dir.mkdir(parents=True, exist_ok=True)
+                self._heal_torn_tail()
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn trailing line left by a crash mid-write, so the
+        next append starts on a fresh line instead of merging into the
+        garbage (which would corrupt an otherwise-good record)."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                last = fh.read(1)
+        except (FileNotFoundError, OSError):
+            return  # empty or absent file: nothing to heal
+        if last != b"\n":
+            with open(self.path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def record_run(self, event: str, *, run: int, state: str,
+                   **extra: Any) -> None:
+        """Append a run-level record (``start`` / ``end``)."""
+        self.append({"kind": "run", "event": event, "run": run,
+                     "state": state, "t": time.time(), **extra})
+
+    def record_frame(self, *, frame_id: str, index: int, status: str,
+                     run: int, backend: str | None = None,
+                     attempts: int = 1, error: str | None = None,
+                     error_type: str | None = None,
+                     edge_mean: float | None = None,
+                     output: str | None = None) -> None:
+        """Append one frame outcome (call *after* the output is on disk)."""
+        if status not in (STATUS_COMPLETED, STATUS_FAILED):
+            raise ValidationError(
+                f"frame status must be completed/failed, got {status!r}"
+            )
+        record: dict[str, Any] = {
+            "kind": "frame", "frame_id": frame_id, "index": index,
+            "status": status, "run": run, "attempts": attempts,
+            "t": time.time(),
+        }
+        if backend is not None:
+            record["backend"] = backend
+        if error is not None:
+            record["error"] = error
+            record["error_type"] = error_type
+        if edge_mean is not None and edge_mean == edge_mean:  # not NaN
+            record["edge_mean"] = edge_mean
+        if output is not None:
+            record["output"] = output
+        self.append(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay ---------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, path: str | pathlib.Path) -> JournalState:
+        """Fold a journal (file or job dir) into a :class:`JournalState`.
+
+        Replay is **idempotent**: duplicated records do not change the
+        outcome, and unparseable (torn) lines are counted and skipped
+        rather than failing the resume.  Completion is sticky — once a
+        frame has a completed record, later failure records for it are
+        treated as duplicates (a completed frame is never re-run, so such
+        records only arise from replayed/duplicated history).
+        """
+        path = pathlib.Path(path)
+        if path.is_dir():
+            path = path / JOURNAL_NAME
+        state = JournalState()
+        if not path.exists():
+            return state
+        # errors="replace": a crash can tear the trailing line mid-byte;
+        # invalid UTF-8 must count as torn, not crash the resume.
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    kind = record["kind"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    state.torn += 1
+                    continue
+                state.records += 1
+                if kind == "run":
+                    if record.get("event") == "start":
+                        state.runs += 1
+                    continue
+                if kind != "frame":
+                    continue
+                fid = str(record.get("frame_id", ""))
+                status = record.get("status")
+                if not fid or status not in (STATUS_COMPLETED,
+                                             STATUS_FAILED):
+                    state.torn += 1
+                    continue
+                if fid in state.completed:
+                    state.duplicates += 1
+                    continue
+                if status == STATUS_COMPLETED:
+                    if fid in state.failed:
+                        # failure superseded by a later success
+                        del state.failed[fid]
+                    state.completed[fid] = record
+                else:
+                    if fid in state.failed:
+                        state.duplicates += 1
+                    state.failed[fid] = record  # latest failure wins
+        return state
+
+
+@dataclass
+class Manifest:
+    """The job's checkpoint header (``manifest.json``).
+
+    ``config`` carries everything needed to rebuild the engine on resume:
+    flag/param dataclass dumps, worker count, resilience/fault specs and
+    the lifecycle knobs — written once at job start and preserved across
+    state rotations so a resume cannot drift from the original run's
+    configuration (the bit-identity guarantee).
+    """
+
+    job_id: str
+    frames_total: int
+    frame_ids: list[str]
+    inputs: list[str]
+    output_dir: str
+    state: str = "starting"
+    runs: int = 0
+    created: float = field(default_factory=time.time)
+    updated: float = field(default_factory=time.time)
+    config: dict[str, Any] = field(default_factory=dict)
+    version: int = MANIFEST_VERSION
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValidationError(
+                f"job state must be one of {JOB_STATES}, got {self.state!r}"
+            )
+        if len(set(self.frame_ids)) != len(self.frame_ids):
+            raise ValidationError("frame ids must be unique within a job")
+        if len(self.frame_ids) != self.frames_total:
+            raise ValidationError(
+                f"frames_total {self.frames_total} != "
+                f"{len(self.frame_ids)} frame ids"
+            )
+
+    @classmethod
+    def create(cls, *, frame_ids: Iterable[str], inputs: Iterable[str],
+               output_dir: str, config: Mapping[str, Any] | None = None,
+               job_id: str | None = None) -> "Manifest":
+        frame_ids = [str(f) for f in frame_ids]
+        return cls(
+            job_id=job_id or uuid.uuid4().hex[:12],
+            frames_total=len(frame_ids),
+            frame_ids=frame_ids,
+            inputs=[str(p) for p in inputs],
+            output_dir=str(output_dir),
+            config=dict(config or {}),
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def write(self, job_dir: str | pathlib.Path) -> pathlib.Path:
+        """Atomically rotate this manifest into ``job_dir``.
+
+        The current manifest (if any) is hard-linked to
+        ``manifest.json.prev`` first, then the new content replaces
+        ``manifest.json`` via ``os.replace`` — at every instant the
+        directory holds a complete manifest.
+        """
+        job_dir = pathlib.Path(job_dir)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        self.updated = time.time()
+        path = job_dir / MANIFEST_NAME
+        prev = job_dir / (MANIFEST_NAME + ".prev")
+        if path.exists():
+            prev.unlink(missing_ok=True)
+            os.link(path, prev)
+        tmp = job_dir / f".{MANIFEST_NAME}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(asdict(self), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, job_dir: str | pathlib.Path) -> "Manifest":
+        """Load a job directory's manifest (:class:`UsageError` if the
+        directory is not a job dir — the CLI maps that to exit code 2)."""
+        path = pathlib.Path(job_dir)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        if not path.exists():
+            raise UsageError(
+                f"no job manifest at {path}: not a job directory "
+                "(start one with --job-dir)"
+            )
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                raise ValueError("manifest is not a JSON object")
+            if data.get("version", 0) > MANIFEST_VERSION:
+                raise ValueError(
+                    f"manifest version {data['version']} is newer than "
+                    f"supported {MANIFEST_VERSION}"
+                )
+            data.pop("version", None)
+            return cls(**data, version=MANIFEST_VERSION)
+        except (ValueError, TypeError) as exc:
+            raise UsageError(
+                f"corrupt job manifest {path}: {exc}"
+            ) from exc
+
+    def transition(self, state: str,
+                   job_dir: str | pathlib.Path) -> "Manifest":
+        """Rotate the manifest into a new job state."""
+        if state not in JOB_STATES:
+            raise ValidationError(
+                f"job state must be one of {JOB_STATES}, got {state!r}"
+            )
+        self.state = state
+        self.write(job_dir)
+        return self

@@ -1,0 +1,148 @@
+"""Graceful shutdown: drain on the first signal, abort on the second.
+
+The signal contract of a durable batch job (see ``docs/lifecycle.md``):
+
+* **first** SIGTERM/SIGINT — *drain*: stop admitting frames, let
+  in-flight frames finish under the drain deadline, flush the journal
+  and metrics, exit ``EXIT_DRAINED`` (3) if frames remain (resume picks
+  them up) or ``EXIT_OK`` (0) if the drain happened to finish the job;
+* **second** signal (or a drain that blows its deadline) — *abort*:
+  abandon in-flight frames immediately and exit ``EXIT_ABORTED`` (4).
+  The journal is fsync'd per record, so even an abort leaves a valid
+  checkpoint; only the abandoned frames re-run on resume.
+
+:class:`ShutdownCoordinator` carries that state machine.  It works
+without signals too — tests (and embedding applications) call
+:meth:`request_drain` / :meth:`request_abort` directly; ``install()``
+is only needed when POSIX signals should drive it, and restores the
+previous handlers on ``restore()``.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from typing import Callable
+
+#: CLI exit-code contract (tested by ``tests/test_cli_errors.py``).
+EXIT_OK = 0          #: every frame produced pixels
+EXIT_RUNTIME = 1     #: ran to completion but frames failed / runtime error
+EXIT_USAGE = 2       #: unusable input or configuration
+EXIT_DRAINED = 3     #: drained cleanly with pending frames (resumable)
+EXIT_ABORTED = 4     #: forced abort; checkpoint valid, frames abandoned
+
+_DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class ShutdownCoordinator:
+    """Two-stage drain/abort latch, optionally driven by POSIX signals.
+
+    Parameters
+    ----------
+    drain_timeout:
+        Seconds the drain phase may spend finishing in-flight frames
+        before it escalates to abandon (``abandon()`` turns true).
+    on_drain / on_abort:
+        Optional callbacks fired once per transition (from the signal
+        handler — keep them tiny and lock-free; the lifecycle job uses
+        them for a log line and a health-state flip).
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(self, *, drain_timeout: float = 10.0,
+                 on_drain: Callable[[str], None] | None = None,
+                 on_abort: Callable[[str], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if drain_timeout <= 0:
+            from ..errors import ConfigError
+            raise ConfigError(
+                f"drain_timeout must be > 0 seconds, got {drain_timeout}"
+            )
+        self.drain_timeout = drain_timeout
+        self.clock = clock
+        self._on_drain = on_drain
+        self._on_abort = on_abort
+        self._drain = threading.Event()
+        self._abort = threading.Event()
+        self._deadline: float | None = None
+        self._lock = threading.Lock()
+        self._previous: dict[int, object] = {}
+        self.drain_reason: str | None = None
+        self.abort_reason: str | None = None
+
+    # -- signal wiring --------------------------------------------------------
+
+    def install(self, signals=_DEFAULT_SIGNALS) -> "ShutdownCoordinator":
+        """Install the drain/abort handler (main thread only)."""
+        for signum in signals:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def restore(self) -> None:
+        """Put the previous signal handlers back."""
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+
+    def _handle(self, signum, _frame) -> None:
+        name = signal.Signals(signum).name
+        if self._drain.is_set():
+            self.request_abort(f"second signal ({name})")
+        else:
+            self.request_drain(f"signal ({name})")
+
+    # -- transitions ----------------------------------------------------------
+
+    def request_drain(self, reason: str = "requested") -> None:
+        """Stage one: stop admission, finish in-flight under the deadline."""
+        with self._lock:
+            if self._drain.is_set():
+                return
+            self.drain_reason = reason
+            self._deadline = self.clock() + self.drain_timeout
+            self._drain.set()
+        if self._on_drain is not None:
+            self._on_drain(reason)
+
+    def request_abort(self, reason: str = "requested") -> None:
+        """Stage two: abandon in-flight frames immediately."""
+        self.request_drain(reason)
+        with self._lock:
+            if self._abort.is_set():
+                return
+            self.abort_reason = reason
+            self._abort.set()
+        if self._on_abort is not None:
+            self._on_abort(reason)
+
+    # -- queries (the engine-hook surface) ------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def deadline_exceeded(self) -> bool:
+        with self._lock:
+            return (self._deadline is not None
+                    and self.clock() > self._deadline)
+
+    def abandon(self) -> bool:
+        """Should in-flight frames be dropped *now*?  True once an abort
+        was requested or the drain deadline has passed."""
+        return self.aborted or self.deadline_exceeded()
+
+    def exit_code(self, *, pending: int, failed: int) -> int:
+        """Map the final journal tallies to the CLI exit-code contract."""
+        if self.aborted:
+            return EXIT_ABORTED
+        if pending > 0:
+            return EXIT_DRAINED if self.draining else EXIT_RUNTIME
+        if failed > 0:
+            return EXIT_RUNTIME
+        return EXIT_OK

@@ -1,0 +1,213 @@
+"""Hang watchdog: per-frame deadlines, cancellation, load shedding.
+
+Two cooperating pieces:
+
+:class:`FrameWatch` — a thread-safe registry of in-flight frames.  The
+batch engine's workers call :meth:`FrameWatch.begin` / :meth:`~FrameWatch.end`
+around each frame; ``begin`` hands back the frame's **cancellation
+token** (a :class:`threading.Event`), which cooperative stall points —
+today the ``hang`` fault site, tomorrow any long-running kernel loop —
+poll while they wait.
+
+:class:`Watchdog` — a daemon thread that sweeps the watch every
+``interval`` seconds.  A frame in flight longer than ``hang_timeout``
+(a *whole-frame* deadline, distinct from the resilience layer's
+per-attempt :class:`~repro.resilience.Timeout`) is **marked hung**: its
+cancel token is set, ``repro_watchdog_hangs_total`` increments, and the
+engine dead-letters it as a :class:`~repro.errors.FrameHangError`
+without waiting for the worker.  When hung frames pin *every* worker —
+the backpressure queue is saturated by zombies — the watchdog trips
+**load shedding**: admission stops, the job drains and exits
+resumable rather than wedging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..obs.runctx import NULL_CONTEXT
+
+WATCHDOG_HANGS = "repro_watchdog_hangs_total"
+
+
+class FrameWatch:
+    """Thread-safe in-flight frame registry with hang verdicts."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic
+                 ) -> None:
+        self.clock = clock
+        self._lock = threading.Lock()
+        #: index -> (frame_id, started_at, cancel_token)
+        self._inflight: dict[int, tuple[str, float, threading.Event]] = {}
+        #: index -> time the frame was marked hung
+        self._hung: dict[int, float] = {}
+        self.hangs_total = 0
+
+    # -- engine-side ----------------------------------------------------------
+
+    def begin(self, index: int, frame_id: str) -> threading.Event:
+        """Register a frame as in flight; returns its cancel token."""
+        cancel = threading.Event()
+        with self._lock:
+            self._inflight[index] = (frame_id, self.clock(), cancel)
+        return cancel
+
+    def end(self, index: int) -> None:
+        with self._lock:
+            self._inflight.pop(index, None)
+
+    def is_hung(self, index: int) -> bool:
+        with self._lock:
+            return index in self._hung
+
+    # -- watchdog-side --------------------------------------------------------
+
+    def snapshot(self) -> list[tuple[int, str, float, bool]]:
+        """(index, frame_id, elapsed_seconds, already_hung) per in-flight
+        frame."""
+        now = self.clock()
+        with self._lock:
+            return [(index, fid, now - started, index in self._hung)
+                    for index, (fid, started, _cancel)
+                    in self._inflight.items()]
+
+    def mark_hung(self, index: int) -> bool:
+        """Declare a frame hung; sets its cancel token.  Returns False if
+        it was already marked (or already finished)."""
+        with self._lock:
+            entry = self._inflight.get(index)
+            if entry is None or index in self._hung:
+                return False
+            self._hung[index] = self.clock()
+            self.hangs_total += 1
+            entry[2].set()
+            return True
+
+    def cancel_all(self) -> int:
+        """Set every in-flight frame's cancel token (abort path)."""
+        with self._lock:
+            for _fid, _started, cancel in self._inflight.values():
+                cancel.set()
+            return len(self._inflight)
+
+    @property
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def hung_inflight(self, min_age: float = 0.0) -> int:
+        """Hung frames whose workers have not returned yet (zombies).
+
+        ``min_age`` filters to frames that have *ignored* their cancel
+        token for at least that long — a just-marked frame deserves a
+        grace period to notice the cancel before it counts as pinning a
+        worker slot.
+        """
+        now = self.clock()
+        with self._lock:
+            return sum(
+                1 for index in self._inflight
+                if index in self._hung
+                and now - self._hung[index] >= min_age
+            )
+
+
+class Watchdog(threading.Thread):
+    """Periodic sweeper over a :class:`FrameWatch`.
+
+    Parameters
+    ----------
+    watch:
+        The registry the engine feeds.
+    hang_timeout:
+        Whole-frame deadline in seconds; ``None`` disables hang
+        detection (the thread still ticks for health reporting).
+    capacity:
+        Worker-slot count; when ``hung_inflight() >= capacity`` every
+        slot is pinned by a zombie and load shedding trips.
+    shed_grace:
+        How long a marked-hung frame may keep running before it counts
+        toward load shedding — a cancelled frame deserves a beat to
+        notice its token and return before we declare its slot lost.
+    interval:
+        Sweep period.
+    on_tick:
+        Called once per sweep (the lifecycle job refreshes the health
+        file here).
+    on_shed:
+        Called once when load shedding trips.
+    """
+
+    def __init__(self, watch: FrameWatch, *,
+                 hang_timeout: float | None = None,
+                 capacity: int | None = None,
+                 shed_grace: float = 1.0,
+                 interval: float = 0.05,
+                 obs=NULL_CONTEXT,
+                 on_tick: Callable[[], None] | None = None,
+                 on_shed: Callable[[], None] | None = None) -> None:
+        super().__init__(name="repro-watchdog", daemon=True)
+        if hang_timeout is not None and hang_timeout <= 0:
+            from ..errors import ConfigError
+            raise ConfigError(
+                f"hang_timeout must be > 0 seconds, got {hang_timeout}"
+            )
+        self.watch = watch
+        self.hang_timeout = hang_timeout
+        self.capacity = capacity
+        self.shed_grace = shed_grace
+        self.interval = interval
+        self.obs = obs
+        self.on_tick = on_tick
+        self.on_shed = on_shed
+        self.shedding = False
+        self._halt = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(self) -> None:  # pragma: no cover - exercised via tick()
+        while not self._halt.wait(self.interval):
+            self.tick()
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=join_timeout)
+
+    # -- one sweep (directly callable in tests) -------------------------------
+
+    def tick(self) -> None:
+        obs = self.obs
+        if self.hang_timeout is not None:
+            for index, fid, elapsed, hung in self.watch.snapshot():
+                if hung or elapsed <= self.hang_timeout:
+                    continue
+                if self.watch.mark_hung(index):
+                    if obs.enabled:
+                        obs.metrics.counter(
+                            WATCHDOG_HANGS,
+                            "Frames cancelled for exceeding the hang "
+                            "threshold",
+                        ).inc()
+                        obs.log.error(
+                            "watchdog.hang", frame=index, frame_id=fid,
+                            elapsed_s=round(elapsed, 3),
+                            hang_timeout_s=self.hang_timeout,
+                        )
+        if (not self.shedding and self.capacity is not None
+                and self.capacity > 0
+                and self.watch.hung_inflight(self.shed_grace)
+                >= self.capacity):
+            self.shedding = True
+            if obs.enabled:
+                obs.log.error(
+                    "watchdog.load_shed",
+                    hung_inflight=self.watch.hung_inflight(self.shed_grace),
+                    capacity=self.capacity,
+                )
+            if self.on_shed is not None:
+                self.on_shed()
+        if self.on_tick is not None:
+            self.on_tick()

@@ -15,6 +15,8 @@ kernel     every ``enqueue_nd_range`` / emulated kernel launch   :class:`~repro.
            (and once per replayed frame)
 oom        every ``BufferPool.checkout``                         :class:`~repro.errors.DeviceOOMError`
 worker     every batch-engine frame dispatch                     :class:`~repro.errors.WorkerCrashError`
+hang       every batch-engine frame dispatch (stalls; raises     :class:`~repro.errors.FrameHangError`
+           only when the lifecycle watchdog cancels the stall)
 ========== ==================================================== =============================
 
 Determinism: each site owns a private ``random.Random`` seeded from
@@ -29,12 +31,13 @@ Spec grammar (the CLI's ``--inject-faults`` argument)::
     SPEC    := SEGMENT (";" SEGMENT)*
     SEGMENT := "seed=" INT
              | SITE ":" PARAM ("," PARAM)*
-    SITE    := "transfer" | "kernel" | "oom" | "worker"
+    SITE    := "transfer" | "kernel" | "oom" | "worker" | "hang"
     PARAM   := "rate=" FLOAT          # fault probability per check, 0..1
              | FLOAT                  # shorthand for rate=
              | "kind=" ("transient" | "permanent")
              | "after=" INT           # skip the first N checks of the site
              | "max=" INT             # stop injecting after N faults
+             | "seconds=" FLOAT       # hang only: stall duration
 
 Examples::
 
@@ -51,11 +54,13 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from dataclasses import dataclass
 
 from ..errors import (
     DeviceOOMError,
     FaultSpecError,
+    FrameHangError,
     KernelLaunchFault,
     ReproError,
     TransferFault,
@@ -63,7 +68,7 @@ from ..errors import (
 )
 
 #: Recognized fault sites, in documentation order.
-SITES = ("transfer", "kernel", "oom", "worker")
+SITES = ("transfer", "kernel", "oom", "worker", "hang")
 
 #: Error class raised per site.
 _SITE_ERRORS: dict[str, type[ReproError]] = {
@@ -71,21 +76,39 @@ _SITE_ERRORS: dict[str, type[ReproError]] = {
     "kernel": KernelLaunchFault,
     "oom": DeviceOOMError,
     "worker": WorkerCrashError,
+    "hang": FrameHangError,
 }
+
+#: How long a fired ``hang`` site stalls before giving up and continuing
+#: (overridden per spec with ``seconds=``).
+DEFAULT_HANG_SECONDS = 30.0
+
+#: Cooperative-cancellation poll period while a ``hang`` site stalls.
+_HANG_POLL_S = 0.01
 
 _KINDS = ("transient", "permanent")
 
 
 @dataclass(frozen=True)
 class SiteSpec:
-    """Fault configuration of one site."""
+    """Fault configuration of one site.
+
+    ``seconds`` only matters for the ``hang`` site: how long a fired hang
+    stalls the operation before giving up and continuing (a lifecycle
+    watchdog is expected to cancel it first).
+    """
 
     rate: float = 0.0
     kind: str = "transient"
     after: int = 0
     max_faults: int | None = None
+    seconds: float = DEFAULT_HANG_SECONDS
 
     def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise FaultSpecError(
+                f"seconds must be >= 0, got {self.seconds}"
+            )
         if not 0.0 <= self.rate <= 1.0:
             raise FaultSpecError(
                 f"fault rate must be in [0, 1], got {self.rate}"
@@ -206,21 +229,39 @@ class FaultPlan:
                 kwargs["after"] = cls._parse_int(value, f"{site} after")
             elif key == "max":
                 kwargs["max_faults"] = cls._parse_int(value, f"{site} max")
+            elif key == "seconds":
+                if site != "hang":
+                    raise FaultSpecError(
+                        f"seconds= only applies to the hang site, "
+                        f"not {site!r}"
+                    )
+                kwargs["seconds"] = cls._parse_float(value,
+                                                     f"{site} seconds")
             else:
                 raise FaultSpecError(
                     f"unknown fault parameter {key!r} for site {site!r} "
-                    "(expected rate/kind/after/max)"
+                    "(expected rate/kind/after/max/seconds)"
                 )
         return SiteSpec(**kwargs)
 
     # -- injection ------------------------------------------------------------
 
-    def check(self, site: str, obs=None, *, detail: str = "") -> None:
+    def check(self, site: str, obs=None, *, detail: str = "",
+              cancel: threading.Event | None = None) -> None:
         """One pass through a fault site; raises the site's error when the
         schedule says this operation fails.
 
         ``obs`` (a :class:`~repro.obs.RunContext`) records the injection in
         ``repro_faults_injected_total{site}`` and the structured log.
+
+        The ``hang`` site behaves differently: a fired hang *stalls* the
+        calling thread for the spec's ``seconds`` (simulating a stuck
+        frame) instead of raising.  ``cancel`` is the cooperative
+        cancellation token — when the lifecycle watchdog sets it, the
+        stall aborts immediately with :class:`~repro.errors.FrameHangError`
+        (how a hung-and-cancelled frame dies); a stall that runs its full
+        ``seconds`` uncancelled returns normally, i.e. the frame was just
+        slow.
         """
         spec = self.sites.get(site)
         if spec is None or spec.rate <= 0.0:
@@ -246,6 +287,9 @@ class FaultPlan:
                 "fault.injected", site=site, kind=spec.kind,
                 n=count, detail=detail,
             )
+        if site == "hang":
+            self._stall(spec, detail=detail, cancel=cancel)
+            return
         exc = _SITE_ERRORS[site](
             f"injected {spec.kind} {site} fault"
             + (f" ({detail})" if detail else "")
@@ -253,6 +297,27 @@ class FaultPlan:
         exc.transient = spec.kind == "transient"
         exc.injected = True
         raise exc
+
+    @staticmethod
+    def _stall(spec: SiteSpec, *, detail: str,
+               cancel: threading.Event | None) -> None:
+        """Stall for ``spec.seconds`` or until cancelled (outside the plan
+        lock — other sites keep injecting while this thread hangs)."""
+        deadline = time.monotonic() + spec.seconds
+        while time.monotonic() < deadline:
+            if cancel is not None:
+                if cancel.wait(min(_HANG_POLL_S,
+                                   max(0.0, deadline - time.monotonic()))):
+                    exc = FrameHangError(
+                        "injected hang cancelled by watchdog"
+                        + (f" ({detail})" if detail else "")
+                    )
+                    exc.transient = False
+                    exc.injected = True
+                    raise exc
+            else:
+                time.sleep(min(_HANG_POLL_S,
+                               max(0.0, deadline - time.monotonic())))
 
     # -- introspection --------------------------------------------------------
 
@@ -267,6 +332,7 @@ class FaultPlan:
             + (f",after={spec.after}" if spec.after else "")
             + (f",max={spec.max_faults}"
                if spec.max_faults is not None else "")
+            + (f",seconds={spec.seconds}" if site == "hang" else "")
             for site, spec in sorted(self.sites.items())
         ]
         return ";".join(parts) + f";seed={self.seed}"

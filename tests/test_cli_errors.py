@@ -82,6 +82,84 @@ class TestExitTwo:
         assert "error: exit=2" in err
 
 
+class TestDurableJobExitCodes:
+    """The exit-code contract (docs/lifecycle.md): 0 ok, 1 runtime,
+    2 usage, 3 drained-incomplete, 4 aborted.  Codes 3 and 4 need real
+    signals and live in test_lifecycle_kill_resume.py."""
+
+    @pytest.fixture
+    def frames(self, tmp_path, rng):
+        src = tmp_path / "frames"
+        src.mkdir()
+        for i in range(3):
+            write_pgm(src / f"f{i}.pgm",
+                      np.rint(rng.uniform(0, 255, (32, 32))))
+        return src
+
+    def test_resume_missing_dir_exits_2(self, tmp_path, capsys):
+        rc, err = run(capsys, ["sharpen", "--resume",
+                               str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "not a job directory" in err
+
+    def test_resume_with_positionals_exits_2(self, tmp_path, frames,
+                                             capsys):
+        rc, err = run(capsys, ["sharpen", str(frames / "*.pgm"),
+                               str(tmp_path / "out"),
+                               "--resume", str(tmp_path / "job")])
+        assert rc == 2
+
+    def test_job_dir_without_inputs_exits_2(self, tmp_path, capsys):
+        rc, err = run(capsys, ["sharpen", "--job-dir",
+                               str(tmp_path / "job")])
+        assert rc == 2
+
+    def test_missing_positionals_exit_2(self, capsys):
+        rc, err = run(capsys, ["sharpen"])
+        assert rc == 2
+        assert "required" in err
+
+    def test_reusing_job_dir_without_resume_exits_2(self, tmp_path,
+                                                    frames, capsys):
+        argv = ["sharpen", str(frames / "*.pgm"), str(tmp_path / "out"),
+                "--batch", "--job-dir", str(tmp_path / "job"),
+                "--workers", "1"]
+        rc, _ = run(capsys, argv)
+        assert rc == 0
+        rc, err = run(capsys, argv)
+        assert rc == 2
+        assert "already holds a journal" in err
+
+    def test_dead_letters_exit_1_then_replay_exits_0(self, tmp_path,
+                                                     frames, capsys):
+        rc, err = run(capsys, [
+            "sharpen", str(frames / "*.pgm"), str(tmp_path / "out"),
+            "--batch", "--job-dir", str(tmp_path / "job"), "--workers",
+            "1", "--inject-faults",
+            "worker:rate=1.0,max=1,kind=permanent;seed=3",
+        ])
+        assert rc == 1
+        assert "failed frame" in err
+        rc, err = run(capsys, ["sharpen", "--replay-failures",
+                               str(tmp_path / "job")])
+        assert rc == 0
+        assert len(list((tmp_path / "out").glob("*.pgm"))) == 3
+
+    def test_durable_success_exits_0_and_writes_health(self, tmp_path,
+                                                       frames, capsys):
+        health = tmp_path / "health.json"
+        rc, err = run(capsys, [
+            "sharpen", str(frames / "*.pgm"), str(tmp_path / "out"),
+            "--batch", "--job-dir", str(tmp_path / "job"), "--workers",
+            "1", "--health-out", str(health), "--hang-timeout", "60",
+        ])
+        assert rc == 0
+        import json
+        snap = json.loads(health.read_text())
+        assert snap["state"] == "completed"
+        assert snap["completed"] == 3
+
+
 class TestStillWorks:
     def test_resilient_sharpen_with_faults_succeeds(self, src, tmp_path,
                                                     capsys):

@@ -1,0 +1,230 @@
+"""Write-ahead journal + checkpoint manifest: durability semantics.
+
+The property tests pin the contract resume depends on: replay is
+idempotent under duplicated records and tolerant of any torn trailing
+bytes a crash can leave behind.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UsageError, ValidationError
+from repro.lifecycle import (
+    JOURNAL_NAME,
+    JobJournal,
+    Manifest,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+)
+
+
+class TestJournalBasics:
+    def test_append_replay_roundtrip(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_run("start", run=1, state="running")
+            journal.record_frame(frame_id="a.pgm", index=0,
+                                 status=STATUS_COMPLETED, run=1,
+                                 backend="gpu", attempts=1,
+                                 edge_mean=12.5, output="a.pgm")
+            journal.record_frame(frame_id="b.pgm", index=1,
+                                 status=STATUS_FAILED, run=1,
+                                 error="boom", error_type="DeviceFault")
+            journal.record_run("end", run=1, state="drained")
+        state = JobJournal.replay(tmp_path)
+        assert state.runs == 1
+        assert state.torn == 0
+        assert set(state.completed) == {"a.pgm"}
+        assert set(state.failed) == {"b.pgm"}
+        assert state.completed["a.pgm"]["edge_mean"] == 12.5
+        assert state.failed["b.pgm"]["error_type"] == "DeviceFault"
+
+    def test_replay_of_missing_journal_is_empty(self, tmp_path):
+        state = JobJournal.replay(tmp_path / "nowhere")
+        assert state.records == 0 and not state.completed
+
+    def test_completion_is_sticky(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_frame(frame_id="x", index=0,
+                                 status=STATUS_COMPLETED, run=1)
+            journal.record_frame(frame_id="x", index=0,
+                                 status=STATUS_FAILED, run=2, error="late")
+        state = JobJournal.replay(tmp_path)
+        assert state.status("x") == STATUS_COMPLETED
+        assert "x" not in state.failed
+        assert state.duplicates == 1
+
+    def test_latest_failure_wins_until_success(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_frame(frame_id="x", index=0,
+                                 status=STATUS_FAILED, run=1, error="first")
+            journal.record_frame(frame_id="x", index=0,
+                                 status=STATUS_FAILED, run=2, error="second")
+        state = JobJournal.replay(tmp_path)
+        assert state.failed["x"]["error"] == "second"
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_frame(frame_id="x", index=0,
+                                 status=STATUS_COMPLETED, run=3)
+        state = JobJournal.replay(tmp_path)
+        assert state.status("x") == STATUS_COMPLETED
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_frame(frame_id="ok", index=0,
+                                 status=STATUS_COMPLETED, run=1)
+        with open(tmp_path / JOURNAL_NAME, "a", encoding="utf-8") as fh:
+            fh.write('{"kind":"frame","frame_id":"torn","sta')  # no newline
+        state = JobJournal.replay(tmp_path)
+        assert set(state.completed) == {"ok"}
+        assert state.torn == 1
+
+    def test_pending_and_failed_of_preserve_order(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            journal.record_frame(frame_id="b", index=1,
+                                 status=STATUS_COMPLETED, run=1)
+            journal.record_frame(frame_id="c", index=2,
+                                 status=STATUS_FAILED, run=1, error="x")
+        state = JobJournal.replay(tmp_path)
+        assert state.pending_of(["a", "b", "c"]) == ["a", "c"]
+        assert state.failed_of(["a", "b", "c"]) == ["c"]
+
+    def test_bad_status_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path, fsync=False)
+        with pytest.raises(ValidationError):
+            journal.record_frame(frame_id="x", index=0,
+                                 status="maybe", run=1)
+
+
+class TestManifest:
+    def make(self):
+        return Manifest.create(
+            frame_ids=["a.pgm", "b.pgm"], inputs=["in/a.pgm", "in/b.pgm"],
+            output_dir="out", config={"workers": 2},
+        )
+
+    def test_write_load_roundtrip(self, tmp_path):
+        manifest = self.make()
+        manifest.write(tmp_path)
+        loaded = Manifest.load(tmp_path)
+        assert loaded.job_id == manifest.job_id
+        assert loaded.frame_ids == ["a.pgm", "b.pgm"]
+        assert loaded.config == {"workers": 2}
+        assert loaded.state == "starting"
+
+    def test_rotation_keeps_previous(self, tmp_path):
+        manifest = self.make()
+        manifest.write(tmp_path)
+        manifest.transition("running", tmp_path)
+        prev = json.loads((tmp_path / "manifest.json.prev").read_text())
+        assert prev["state"] == "starting"
+        assert Manifest.load(tmp_path).state == "running"
+
+    def test_load_missing_is_usage_error(self, tmp_path):
+        with pytest.raises(UsageError, match="not a job directory"):
+            Manifest.load(tmp_path)
+
+    def test_load_corrupt_is_usage_error(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(UsageError, match="corrupt"):
+            Manifest.load(tmp_path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        manifest = self.make()
+        manifest.write(tmp_path)
+        data = json.loads((tmp_path / "manifest.json").read_text())
+        data["version"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(data))
+        with pytest.raises(UsageError, match="version"):
+            Manifest.load(tmp_path)
+
+    def test_duplicate_frame_ids_rejected(self):
+        with pytest.raises(ValidationError, match="unique"):
+            Manifest.create(frame_ids=["a", "a"], inputs=["x", "y"],
+                            output_dir="out")
+
+    def test_bad_state_rejected(self, tmp_path):
+        manifest = self.make()
+        with pytest.raises(ValidationError, match="job state"):
+            manifest.transition("confused", tmp_path)
+
+
+# -- property tests: the resume contract ------------------------------------
+
+frame_ids = st.sampled_from([f"f{i}.pgm" for i in range(6)])
+outcomes = st.sampled_from([STATUS_COMPLETED, STATUS_FAILED])
+records = st.lists(st.tuples(frame_ids, outcomes), min_size=0, max_size=30)
+
+
+def _write_journal(tmp_path, history, run=1):
+    journal = JobJournal(tmp_path, fsync=False)
+    for fid, status in history:
+        journal.record_frame(
+            frame_id=fid, index=int(fid[1]), status=status, run=run,
+            error="injected" if status == STATUS_FAILED else None,
+        )
+    journal.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=records, dupes=st.data())
+def test_replay_is_idempotent_under_duplicates(tmp_path_factory, history,
+                                               dupes):
+    """Replaying a journal with any subset of records duplicated (appended
+    again, as a crashed-then-replayed run would) yields the same verdicts
+    as the clean journal."""
+    base = tmp_path_factory.mktemp("journal")
+    _write_journal(base, history)
+    clean = JobJournal.replay(base)
+
+    noisy_dir = tmp_path_factory.mktemp("journal-dup")
+    duplicated = dupes.draw(st.lists(st.sampled_from(history),
+                                     min_size=0, max_size=10)
+                            if history else st.just([]))
+    # Re-append duplicates of *terminal* outcomes only: a completed
+    # frame's completion record, or a failed frame's latest failure —
+    # exactly what a replayed run can restate.
+    tail = [
+        (fid, status) for fid, status in duplicated
+        if clean.status(fid) == status
+    ]
+    _write_journal(noisy_dir, history + tail, run=1)
+    noisy = JobJournal.replay(noisy_dir)
+
+    assert set(noisy.completed) == set(clean.completed)
+    assert set(noisy.failed) == set(clean.failed)
+    all_ids = sorted({fid for fid, _ in history})
+    assert noisy.pending_of(all_ids) == clean.pending_of(all_ids)
+    assert noisy.failed_of(all_ids) == clean.failed_of(all_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(history=records,
+       torn_tail=st.binary(min_size=0, max_size=40).filter(
+           lambda b: b"\n" not in b))
+def test_replay_tolerates_torn_trailing_bytes(tmp_path_factory, history,
+                                              torn_tail):
+    """A crash can leave arbitrary torn bytes at the end of the journal;
+    replay must keep every intact record and never raise."""
+    base = tmp_path_factory.mktemp("journal")
+    _write_journal(base, history)
+    clean = JobJournal.replay(base)
+
+    torn_dir = tmp_path_factory.mktemp("journal-torn")
+    _write_journal(torn_dir, history)
+    with open(torn_dir / JOURNAL_NAME, "ab") as fh:
+        fh.write(torn_tail)
+    torn = JobJournal.replay(torn_dir)
+
+    assert set(torn.completed) == set(clean.completed)
+    assert set(torn.failed) == set(clean.failed)
+    # A resumed process appends after the torn tail; the writer must heal
+    # the tail (terminate the garbage line) so the new record survives.
+    journal = JobJournal(torn_dir, fsync=False)
+    journal.append({"kind": "frame", "frame_id": "after-torn",
+                    "index": 9, "status": STATUS_COMPLETED, "run": 2})
+    journal.close()
+    again = JobJournal.replay(torn_dir)
+    assert "after-torn" in again.completed
+    assert set(again.failed) == set(clean.failed)

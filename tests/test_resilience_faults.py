@@ -97,12 +97,36 @@ class TestInjection:
             "oom": DeviceOOMError,
             "worker": WorkerCrashError,
         }
-        assert set(cases) == set(SITES)
+        # hang is the odd one out: it stalls instead of raising (see
+        # test_hang_site_* below), so it is excluded here.
+        assert set(cases) | {"hang"} == set(SITES)
         for site, exc_type in cases.items():
             plan = FaultPlan.parse(f"{site}:rate=1.0")
             with pytest.raises(exc_type) as exc_info:
                 plan.check(site)
             assert exc_info.value.injected is True
+
+    def test_hang_site_stalls_then_continues(self):
+        plan = FaultPlan.parse("hang:rate=1.0,seconds=0.0")
+        plan.check("hang")  # zero-second stall: returns, never raises
+        assert plan.injected["hang"] == 1
+
+    def test_hang_site_cancel_raises_frame_hang_error(self):
+        import threading
+
+        from repro.errors import FrameHangError
+
+        cancel = threading.Event()
+        cancel.set()  # pre-cancelled: the stall aborts on first poll
+        plan = FaultPlan.parse("hang:rate=1.0,seconds=30")
+        with pytest.raises(FrameHangError) as exc_info:
+            plan.check("hang", cancel=cancel)
+        assert exc_info.value.injected is True
+        assert not is_transient(exc_info.value)
+
+    def test_hang_seconds_rejected_elsewhere(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse("transfer:rate=0.5,seconds=3")
 
     def test_kind_controls_transience(self):
         plan = FaultPlan.parse("transfer:rate=1.0,kind=permanent;"
