@@ -1,0 +1,42 @@
+"""Static analysis for the repro codebase.
+
+Two complementary layers, one driver (``python -m repro.analysis``):
+
+* :mod:`repro.analysis.kernels` — a static analyzer for the Python-embedded
+  GPU kernels under :mod:`repro.kernels`.  It abstract-interprets kernel
+  bodies over the NDRange contract of :mod:`repro.kernels.base` and flags
+  out-of-bounds indexing, barrier divergence, write-write race candidates,
+  uncoalesced access patterns, local-memory overflow against the simulated
+  :class:`~repro.simgpu.device.DeviceSpec` limits, and unused buffer
+  arguments — before any kernel runs.  The dynamic
+  :mod:`repro.simgpu.racecheck` tracker catches what this misses at
+  runtime; the two cross-cite each other's diagnostics.
+* :mod:`repro.analysis.project` — an invariant linter for project-wide
+  conventions: ``repro_*`` metric names, the :mod:`repro.errors` taxonomy,
+  no bare ``except``, atomic-rotate on-disk writes, and deterministic
+  plan-replayed paths.
+
+Findings share one model (:mod:`repro.analysis.findings`), one suppression
+syntax (``# repro: ignore[RULE-ID]``), and one warning baseline
+(:mod:`repro.analysis.baseline`).  See ``docs/static-analysis.md``.
+"""
+
+from .baseline import load_baseline, write_baseline
+from .driver import main, run_analysis
+from .findings import Finding, Severity
+from .kernels import analyze_kernel_file
+from .project import RULES, Rule, lint_file, register_rule
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "RULES",
+    "register_rule",
+    "analyze_kernel_file",
+    "lint_file",
+    "load_baseline",
+    "write_baseline",
+    "run_analysis",
+    "main",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.analysis``."""
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

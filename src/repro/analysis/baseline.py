@@ -1,0 +1,88 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the CI gate be strict about *new* findings while known
+debt is paid down incrementally.  Entries are keyed by
+:attr:`repro.analysis.findings.Finding.fingerprint` — rule + file basename
++ scope + message, deliberately excluding the line number so edits above a
+grandfathered finding do not churn the file.
+
+Policy (enforced by the driver, documented in ``docs/static-analysis.md``):
+error-severity findings are never baselined — they must be fixed or
+explicitly suppressed in code where a human can see the justification.
+The baseline holds warnings only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ValidationError
+from ..util.io import atomic_write_text
+from .findings import Finding, Severity
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, str]]:
+    """fingerprint -> descriptive entry.  Missing file = empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise ValidationError(
+            f"baseline {path} must be an object with a 'findings' key"
+        )
+    findings = raw["findings"]
+    if not isinstance(findings, dict):
+        raise ValidationError(f"baseline {path}: 'findings' must map "
+                              f"fingerprint -> entry")
+    return findings
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Write the non-error findings as the new baseline; returns count.
+
+    Error-severity findings are refused (fix or suppress them instead) —
+    the CI contract is that the error baseline is empty, always.
+    """
+    errors = [f for f in findings if f.severity >= Severity.ERROR]
+    if errors:
+        raise ValidationError(
+            f"refusing to baseline {len(errors)} error-severity "
+            f"finding(s); fix them or add a targeted "
+            f"'# repro: ignore[...]' suppression "
+            f"(first: {errors[0].format()})"
+        )
+    entries = {
+        f.fingerprint: {
+            "rule": f.rule,
+            "severity": f.severity.name.lower(),
+            "path": f.path,
+            "scope": f.scope,
+            "message": f.message,
+        }
+        for f in findings
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(entries.items())),
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def partition(findings: list[Finding],
+              baseline: dict[str, dict[str, str]],
+              ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined)."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        (old if f.fingerprint in baseline else new).append(f)
+    return new, old

@@ -1,0 +1,169 @@
+"""Buffer-shape contracts for the kernel analyzer.
+
+A *contract* tells the analyzer what it cannot read off the kernel body:
+the symbolic extent of each buffer argument, expressed over the kernel's
+scalar arguments and NDRange quantities.  Extents are plain Python
+expressions evaluated symbolically in the kernel's environment, so they can
+reference scalar args (``h``, ``w``, ``n``), factory closure variables
+(``off``, ``wg``), module constants, and the special names
+
+* ``local_size[d]`` / ``global_size[d]`` / ``num_groups[d]`` — the NDRange
+  contract of :mod:`repro.kernels.base` (``pick_local_size`` only produces
+  shapes that divide the global size, which is what makes ``num_groups``
+  well-defined);
+* arithmetic over any of the above (``(local_size[0] + 2) *
+  (local_size[1] + 2)``).
+
+The shipped registry below covers the real kernel set, keyed by module
+basename, with per-kernel-function overrides where one variant hardcodes a
+different shape (the tiled Sobel reads the padded source only).  Analyzed
+files can instead carry their own contract in a module-level
+``ANALYSIS_CONTRACTS`` dict literal of the same shape — the fixture
+kernels under ``tests/fixtures/analysis`` do this — which takes precedence
+over the registry.
+
+``bindings`` equate an NDRange atom with a closure symbol (the reduction
+kernels launch with ``local_size == (wg,)`` per ``reduction_layout``), and
+``assume`` adds per-symbol value facts on top of the defaults (image sides
+are positive multiples of 4 — the pipeline validates this before any
+launch; reduction lengths are positive).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Default value assumptions for well-known scalar argument names.
+DEFAULT_ASSUME: dict[str, dict[str, int]] = {
+    "h": {"min": 8, "mult": 4},
+    "w": {"min": 8, "mult": 4},
+    "n": {"min": 1},
+}
+
+
+@dataclass
+class Contract:
+    """Shape contract for the kernels of one module."""
+
+    #: arg name -> tuple of per-axis extent expressions (strings).
+    buffers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: NDRange atom -> expression it equals at launch ("local_size:0": "wg")
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: scalar symbol -> {"min": int, "max": int, "mult": int}
+    assume: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: kernel function name -> partial Contract-shaped dict override.
+    overrides: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def for_kernel(self, func_name: str) -> "Contract":
+        """The effective contract for one kernel function."""
+        over = self.overrides.get(func_name)
+        if not over:
+            return self
+        merged = Contract(
+            buffers=dict(self.buffers), bindings=dict(self.bindings),
+            assume=dict(self.assume),
+        )
+        merged.buffers.update({
+            k: tuple(v) for k, v in over.get("buffers", {}).items()
+        })
+        merged.bindings.update(over.get("bindings", {}))
+        merged.assume.update(over.get("assume", {}))
+        return merged
+
+
+def _pixel(src_padded: bool = True) -> dict[str, tuple[str, ...]]:
+    src = ("h + 2*off", "w + 2*off") if src_padded else ("h", "w")
+    return {"src": src, "dst": ("h", "w")}
+
+
+#: Registry keyed by kernel-module basename (without ``.py``).
+REGISTRY: dict[str, Contract] = {
+    "downscale": Contract(buffers={
+        "src": ("h + 2*off", "w + 2*off"),
+        "dst": ("h // 4", "w // 4"),
+    }),
+    "perror": Contract(buffers={
+        "src": ("h + 2*off", "w + 2*off"),
+        "up": ("h", "w"),
+        "dst": ("h", "w"),
+    }),
+    "sobel": Contract(
+        buffers=_pixel(),
+        overrides={
+            # The tiled variant is only built with padded=True and reads
+            # the (h+2) x (w+2) padded source directly.
+            "_emulator_tiled": {"buffers": {
+                "src": ("h + 2", "w + 2"),
+                "tile": ("(local_size[0] + 2) * (local_size[1] + 2)",),
+            }},
+        },
+    ),
+    "sharpness": Contract(buffers={
+        "up": ("h", "w"),
+        "p_edge": ("h", "w"),
+        "p_error": ("h", "w"),
+        "src": ("h + 2*off", "w + 2*off"),
+        "prelim": ("h", "w"),
+        "dst": ("h", "w"),
+    }),
+    "upscale_center": Contract(buffers={
+        "down": ("h // 4", "w // 4"),
+        "up": ("h", "w"),
+    }),
+    "upscale_border": Contract(buffers={
+        "down": ("h // 4", "w // 4"),
+        "up": ("h", "w"),
+    }),
+    "reduction": Contract(
+        buffers={
+            "src": ("n",),
+            "partial": ("num_groups[0]",),
+            "local_sum": ("local_size[0]",),
+        },
+        # reduction_layout launches with local_size == (wg,).
+        bindings={"local_size:0": "wg"},
+    ),
+}
+
+
+def load_inline_contract(tree: ast.Module) -> Optional[Contract]:
+    """Read a module-level ``ANALYSIS_CONTRACTS`` dict literal, if any."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                targets = [node.target.id]
+            value = node.value
+        else:
+            continue
+        if "ANALYSIS_CONTRACTS" not in targets:
+            continue
+        try:
+            raw = ast.literal_eval(value)
+        except ValueError:
+            return None
+        if not isinstance(raw, dict):
+            return None
+        return Contract(
+            buffers={k: tuple(v)
+                     for k, v in raw.get("buffers", {}).items()},
+            bindings=dict(raw.get("bindings", {})),
+            assume={k: dict(v) for k, v in raw.get("assume", {}).items()},
+            overrides={k: dict(v)
+                       for k, v in raw.get("overrides", {}).items()},
+        )
+    return None
+
+
+def contract_for(module_name: str, tree: ast.Module) -> Contract:
+    """The contract for one analyzed module (inline wins over registry)."""
+    inline = load_inline_contract(tree)
+    if inline is not None:
+        return inline
+    return REGISTRY.get(module_name, Contract())

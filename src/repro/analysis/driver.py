@@ -1,0 +1,157 @@
+"""Command-line driver: ``python -m repro.analysis``.
+
+Runs the static kernel analyzer over ``src/repro/kernels/*.py`` and the
+project invariant linter over the whole ``repro`` package, merges the
+findings against the checked-in baseline, renders a text or JSON report,
+and exits non-zero when any **new error-severity** finding exists.  CI
+runs exactly this as a blocking job; developers run it locally the same
+way:
+
+.. code-block:: console
+
+   $ python -m repro.analysis                 # human-readable
+   $ python -m repro.analysis --format=json   # machine-readable
+   $ python -m repro.analysis --write-baseline  # accept current warnings
+
+The baseline policy is one-way: only warnings can be grandfathered, the
+error baseline is empty by construction (``write_baseline`` refuses
+otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Optional, Sequence
+
+from ..errors import UsageError, ValidationError
+from .baseline import load_baseline, partition, write_baseline
+from .findings import Severity
+from .kernels import analyze_kernel_file
+from .project import lint_paths
+from .report import Report, render_json, render_text
+
+#: Default baseline location relative to the repo root.
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """Walk up from ``start`` to the directory holding ``src/repro``."""
+    here = (start or Path.cwd()).resolve()
+    for cand in (here, *here.parents):
+        if (cand / "src" / "repro").is_dir():
+            return cand
+    # Fall back to the package's own location (installed layouts).
+    pkg = Path(__file__).resolve().parents[3]
+    if (pkg / "src" / "repro").is_dir():
+        return pkg
+    raise UsageError(
+        f"cannot locate the repo root (no src/repro above {here}); "
+        f"pass --root"
+    )
+
+
+def collect_targets(root: Path) -> tuple[list[Path], list[Path]]:
+    """(kernel modules, all lintable package files) under ``root``."""
+    pkg = root / "src" / "repro"
+    kernels = sorted(
+        p for p in (pkg / "kernels").glob("*.py") if p.name != "__init__.py"
+    )
+    lintable = sorted(
+        p for p in pkg.rglob("*.py") if "__pycache__" not in p.parts
+    )
+    return kernels, lintable
+
+
+def run_analysis(root: Path, *,
+                 min_severity: Severity = Severity.INFO) -> Report:
+    """Run both analyzers; findings are unfiltered by the baseline."""
+    kernels, lintable = collect_targets(root)
+    report = Report()
+    for path in kernels:
+        report.findings.extend(analyze_kernel_file(path))
+        report.kernels_analyzed += 1
+    report.findings.extend(
+        lint_paths(lintable, package_root=root / "src" / "repro")
+    )
+    report.files_scanned = len(lintable)
+    report.findings = [
+        f for f in report.findings if f.severity >= min_severity
+    ]
+    _relativize(report, root)
+    return report
+
+
+def _relativize(report: Report, root: Path) -> None:
+    """Rewrite finding paths relative to the repo root for stable output."""
+    rewritten = []
+    for f in report.findings:
+        try:
+            rel = Path(f.path).resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.path
+        rewritten.append(type(f)(
+            rule=f.rule, severity=f.severity, path=rel, line=f.line,
+            scope=f.scope, message=f.message, extra=f.extra,
+        ))
+    report.findings = rewritten
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stdout: Optional[IO[str]] = None) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static kernel analyzer + project invariant linter.",
+    )
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: auto-detected)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: "
+                             f"<root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current warning-severity findings "
+                             "into the baseline and exit")
+    parser.add_argument("--min-severity", type=Severity.parse,
+                        default=Severity.INFO, metavar="LEVEL",
+                        help="hide findings below LEVEL "
+                             "(info/warning/error)")
+    args = parser.parse_args(argv)
+
+    try:
+        root = args.root.resolve() if args.root else find_repo_root()
+    except UsageError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = args.baseline or root / DEFAULT_BASELINE
+
+    try:
+        report = run_analysis(root, min_severity=args.min_severity)
+    except ValidationError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        try:
+            count = write_baseline(baseline_path, report.findings)
+        except ValidationError as exc:
+            print(f"repro.analysis: {exc}", file=sys.stderr)
+            return 2
+        print(f"repro.analysis: wrote {count} finding(s) to "
+              f"{baseline_path}", file=out)
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    report.findings, report.baselined = partition(report.findings,
+                                                  baseline)
+
+    if args.format == "json":
+        render_json(report, out)
+    else:
+        render_text(report, out)
+    return 1 if report.gate_failed else 0

@@ -1,0 +1,72 @@
+"""Finding records shared by the kernel analyzer and the project linter."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ValidationError
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; only ERROR findings gate the build."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            # ValidationError is also a ValueError, so argparse `type=`
+            # failures still render as usage errors.
+            raise ValidationError(
+                f"unknown severity {text!r}; use info/warning/error"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``fingerprint`` identifies the finding across runs for the baseline
+    file: it hashes the rule, the file's basename, the enclosing scope and
+    the message — but **not** the line number, so unrelated edits above a
+    grandfathered finding do not un-baseline it.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    scope: str
+    message: str
+    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        basename = self.path.replace("\\", "/").rsplit("/", 1)[-1]
+        digest = hashlib.sha256(
+            f"{self.rule}|{basename}|{self.scope}|{self.message}"
+            .encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}: {self.severity.name.lower()} "
+                f"[{self.rule}] {self.scope}: {self.message}")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

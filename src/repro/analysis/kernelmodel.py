@@ -1,0 +1,881 @@
+"""Abstract interpretation of emulator-kernel bodies.
+
+:class:`KernelWalker` walks one kernel function (a Python function whose
+first parameter is ``ctx``, per the :mod:`repro.simgpu.emulator` idiom) and
+collects the facts the rules consume:
+
+* every subscript access to a buffer argument, with per-axis symbolic
+  intervals (:class:`~repro.analysis.symbolic.Interval`) *and* an affine
+  form over work-item-id atoms when the index is affine (for the
+  coalescing rule);
+* every ``yield BARRIER`` / ``yield WF_SYNC`` with the taints of the
+  branches/loops enclosing it;
+* every ``return`` likewise (for barrier-divergence: an early return under
+  an id-dependent branch, followed by a barrier, strands the group).
+
+The interpretation is flow-sensitive and guard-driven: ``if gx >= w or
+gy >= h: return`` refines ``gx`` to ``[0, w-1]`` on the fall-through path,
+``if lid < s:`` refines ``lid`` to ``[0, s_hi - 1]`` inside the branch,
+``for j in range(2, w - 2)`` binds ``j`` to ``[2, w-3]``, and loops widen
+the variables their bodies reassign (keeping the entry bound on the side a
+shrinking/growing update cannot cross).  Module-level helpers that receive
+buffer arguments (``_overshoot_pixel``) and closures defined inside the
+kernel (the tiled Sobel's ``at``) are walked at each call site with the
+caller's bindings, so accesses inside them are checked against the caller's
+guards.
+
+Taint classes: ``item`` (derived from a global/local work-item id — differs
+between the items of one group), ``group`` (group id — uniform within a
+group), ``data`` (loaded from a buffer — potentially non-uniform).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .symbolic import Assumptions, Interval, LinExpr
+
+TAINT_ITEM = "item"
+TAINT_GROUP = "group"
+TAINT_DATA = "data"
+
+#: ctx method -> (atom family, taint).  Bounds: id in [0, <family>:d - 1].
+_CTX_IDS = {
+    "get_global_id": ("global_size", TAINT_ITEM),
+    "get_local_id": ("local_size", TAINT_ITEM),
+    "get_group_id": ("num_groups", TAINT_GROUP),
+}
+_CTX_SIZES = {
+    "get_local_size": "local_size",
+    "get_global_size": "global_size",
+    "get_num_groups": "num_groups",
+}
+
+#: Id atoms contributing to the coalescing rule's stride computation.
+ID_ATOM_PREFIXES = ("gid:", "lid:")
+
+
+@dataclass
+class Value:
+    """Abstract value of one expression/variable."""
+
+    interval: Interval = field(default_factory=Interval.unknown)
+    taint: frozenset = frozenset()
+    lin: Optional[LinExpr] = None
+    buffer: Optional[str] = None          # buffer argument it aliases
+    func: Optional[tuple] = None          # (FunctionDef, closure env)
+    is_ctx: bool = False
+
+    @classmethod
+    def unknown(cls, taint: frozenset = frozenset()) -> "Value":
+        return cls(Interval.unknown(), taint)
+
+    @classmethod
+    def const(cls, value: int) -> "Value":
+        return cls(Interval.const(value), frozenset(),
+                   LinExpr.const(value))
+
+
+@dataclass
+class Access:
+    """One subscript access to a buffer argument."""
+
+    buffer: str
+    axes: list[Interval]
+    lins: list[Optional[LinExpr]]
+    is_write: bool
+    node: ast.AST
+    taints: frozenset          # union of index taints
+    branch_taints: frozenset   # taints of enclosing branch conditions
+    pins: tuple                # equality pins of enclosing branches
+    scope: str
+    checked: bool = True       # False for slice/ellipsis indexing
+
+
+@dataclass
+class SyncPoint:
+    kind: str                  # "BARRIER" | "WF_SYNC"
+    node: ast.AST
+    branch_taints: frozenset
+    scope: str
+
+
+@dataclass
+class ReturnPoint:
+    node: ast.AST
+    branch_taints: frozenset
+    scope: str
+
+
+class KernelWalker:
+    """Walks one kernel function collecting accesses and sync points."""
+
+    MAX_CALL_DEPTH = 3
+
+    def __init__(self, *, assumptions: Assumptions,
+                 bindings: dict[str, LinExpr],
+                 module_functions: dict[str, ast.FunctionDef],
+                 scope: str) -> None:
+        self.assumptions = assumptions
+        self.bindings = bindings
+        self.module_functions = module_functions
+        self.scope = scope
+        self.accesses: list[Access] = []
+        self.syncs: list[SyncPoint] = []
+        self.returns: list[ReturnPoint] = []
+        self._branch_stack: list[tuple[frozenset, tuple]] = []
+        self._call_depth = 0
+
+    # -- atom helpers --------------------------------------------------------
+
+    def _dim_expr(self, family: str, dim: int) -> LinExpr:
+        """The LinExpr for an NDRange dimension, honouring bindings."""
+        name = f"{family}:{dim}"
+        bound = self.bindings.get(name)
+        if bound is not None:
+            return bound
+        return LinExpr.atom(name)
+
+    def _branch_taints(self) -> frozenset:
+        out: set = set()
+        for taints, _ in self._branch_stack:
+            out |= taints
+        return frozenset(out)
+
+    def _pins(self) -> tuple:
+        out = []
+        for _, pins in self._branch_stack:
+            out.extend(pins)
+        return tuple(out)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def eval(self, node: ast.AST, env: dict[str, Value]) -> Value:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                    node.value, int):
+                return Value.unknown()
+            return Value.const(node.value)
+        if isinstance(node, ast.Name):
+            val = env.get(node.id)
+            if val is not None:
+                return val
+            return Value.unknown()
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.USub):
+                return Value(
+                    operand.interval.negate(), operand.taint,
+                    None if operand.lin is None else operand.lin.scale(-1),
+                )
+            return Value.unknown(operand.taint)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.IfExp):
+            test = self.eval(node.test, env)
+            a = self.eval(node.body, env)
+            b = self.eval(node.orelse, env)
+            return Value(
+                a.interval.hull(b.interval, self.assumptions),
+                a.taint | b.taint | test.taint,
+            )
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value, env)
+            if base.is_ctx and node.attr == "local_linear_id":
+                return Value(Interval(lo=LinExpr.const(0), hi=None),
+                             frozenset({TAINT_ITEM}))
+            return Value.unknown(base.taint)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript_load(node, env)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            parts: list[ast.expr]
+            if isinstance(node, ast.Compare):
+                parts = [node.left, *node.comparators]
+            else:
+                parts = list(node.values)
+            taint: frozenset = frozenset()
+            for part in parts:
+                taint |= self.eval(part, env).taint
+            return Value.unknown(taint)
+        return Value.unknown()
+
+    def _eval_binop(self, node: ast.BinOp, env: dict[str, Value]) -> Value:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        taint = left.taint | right.taint
+        lin: Optional[LinExpr] = None
+        if isinstance(node.op, ast.Add):
+            if left.lin is not None and right.lin is not None:
+                lin = left.lin + right.lin
+            return Value(left.interval.add(right.interval), taint, lin)
+        if isinstance(node.op, ast.Sub):
+            if left.lin is not None and right.lin is not None:
+                lin = left.lin - right.lin
+            return Value(left.interval.sub(right.interval), taint, lin)
+        if isinstance(node.op, ast.Mult):
+            if left.interval.is_exact_const:
+                c = left.interval.lo.const_value
+                lin = None if right.lin is None else right.lin.scale(c)
+                return Value(right.interval.scale(c), taint, lin)
+            if right.interval.is_exact_const:
+                c = right.interval.lo.const_value
+                lin = None if left.lin is None else left.lin.scale(c)
+                return Value(left.interval.scale(c), taint, lin)
+            return Value(
+                left.interval.multiply(right.interval, self.assumptions),
+                taint,
+            )
+        if isinstance(node.op, (ast.FloorDiv, ast.RShift)):
+            shift = isinstance(node.op, ast.RShift)
+            if right.interval.is_exact_const:
+                k = right.interval.lo.const_value
+                if k.denominator == 1 and k > 0:
+                    divisor = 2 ** int(k) if shift else int(k)
+                    return Value(
+                        left.interval.floordiv(divisor, self.assumptions),
+                        taint,
+                    )
+            # symbolic divisor >= 1, dividend >= 0: floor stays in
+            # [0, dividend_hi]
+            if (not shift and left.interval.lo is not None
+                    and right.interval.lo is not None
+                    and self.assumptions.prove_nonneg(left.interval.lo)
+                    and self.assumptions.prove_nonneg(
+                        right.interval.lo - LinExpr.const(1))):
+                return Value(Interval(lo=LinExpr.const(0),
+                                      hi=left.interval.hi), taint)
+            return Value.unknown(taint)
+        if isinstance(node.op, ast.Mod):
+            if right.interval.is_exact_const:
+                k = right.interval.lo.const_value
+                if k.denominator == 1 and k > 0 and (
+                        left.interval.lo is not None
+                        and self.assumptions.prove_nonneg(
+                            left.interval.lo)):
+                    return Value(Interval(lo=LinExpr.const(0),
+                                          hi=LinExpr.const(int(k) - 1)),
+                                 taint)
+            if (left.interval.lo is not None
+                    and right.interval.hi is not None
+                    and self.assumptions.prove_nonneg(left.interval.lo)):
+                return Value(Interval(
+                    lo=LinExpr.const(0),
+                    hi=right.interval.hi - LinExpr.const(1)), taint)
+            return Value.unknown(taint)
+        if isinstance(node.op, ast.LShift):
+            if right.interval.is_exact_const:
+                k = right.interval.lo.const_value
+                if k.denominator == 1 and k >= 0:
+                    return Value(left.interval.scale(2 ** int(k)), taint)
+            return Value.unknown(taint)
+        return Value.unknown(taint)
+
+    def _eval_call(self, node: ast.Call, env: dict[str, Value]) -> Value:
+        func = node.func
+        # ctx.get_*(dim)
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value, env)
+            if base.is_ctx:
+                return self._eval_ctx_call(func.attr, node, env)
+            return Value.unknown()
+        if isinstance(func, ast.Name):
+            # range()/min()/max() and friends have no integer value here.
+            target = env.get(func.id)
+            if target is not None and target.func is not None:
+                self._walk_call_into(target.func, node, env)
+                return Value.unknown()
+            helper = self.module_functions.get(func.id)
+            if helper is not None:
+                self._walk_helper_call(helper, node, env)
+                return Value.unknown()
+        return Value.unknown()
+
+    def _eval_ctx_call(self, attr: str, node: ast.Call,
+                       env: dict[str, Value]) -> Value:
+        dim = None
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, int):
+            dim = node.args[0].value
+        if attr in _CTX_IDS and dim is not None:
+            family, taint = _CTX_IDS[attr]
+            hi = self._dim_expr(family, dim) - LinExpr.const(1)
+            prefix = {"get_global_id": "gid", "get_local_id": "lid",
+                      "get_group_id": "grp"}[attr]
+            return Value(
+                Interval(lo=LinExpr.const(0), hi=hi),
+                frozenset({taint}),
+                LinExpr.atom(f"{prefix}:{dim}"),
+            )
+        if attr in _CTX_SIZES and dim is not None:
+            expr = self._dim_expr(_CTX_SIZES[attr], dim)
+            return Value(Interval.exact(expr), frozenset(), expr)
+        if attr == "wavefront":
+            return Value(Interval(lo=LinExpr.const(0), hi=None),
+                         frozenset({TAINT_ITEM}))
+        return Value.unknown()
+
+    def _eval_subscript_load(self, node: ast.Subscript,
+                             env: dict[str, Value]) -> Value:
+        self._record_subscript(node, env, is_write=False)
+        base = self.eval(node.value, env)
+        if base.buffer is not None:
+            return Value.unknown(frozenset({TAINT_DATA}))
+        return Value.unknown(base.taint)
+
+    # -- access recording ----------------------------------------------------
+
+    def _record_subscript(self, node: ast.Subscript, env: dict[str, Value],
+                          *, is_write: bool) -> None:
+        if not isinstance(node.value, ast.Name):
+            return
+        base = env.get(node.value.id)
+        if base is None or base.buffer is None:
+            return
+        elts: list[ast.AST]
+        sl = node.slice
+        if isinstance(sl, ast.Tuple):
+            elts = list(sl.elts)
+        else:
+            elts = [sl]
+        checked = True
+        axes: list[Interval] = []
+        lins: list[Optional[LinExpr]] = []
+        taints: set = set()
+        for e in elts:
+            if isinstance(e, (ast.Slice, ast.Constant)) and (
+                    isinstance(e, ast.Slice)
+                    or e.value is Ellipsis):
+                checked = False
+                axes.append(Interval.unknown())
+                lins.append(None)
+                continue
+            val = self.eval(e, env)
+            axes.append(val.interval)
+            lins.append(val.lin)
+            taints |= val.taint
+        self.accesses.append(Access(
+            buffer=base.buffer, axes=axes, lins=lins, is_write=is_write,
+            node=node, taints=frozenset(taints),
+            branch_taints=self._branch_taints(), pins=self._pins(),
+            scope=self.scope, checked=checked,
+        ))
+
+    # -- helper / closure calls ---------------------------------------------
+
+    def _bind_call_args(self, fn: ast.FunctionDef, node: ast.Call,
+                        env: dict[str, Value]) -> Optional[dict[str, Value]]:
+        params = [a.arg for a in fn.args.args]
+        bound: dict[str, Value] = {}
+        args = [self.eval(a, env) for a in node.args]
+        if len(args) > len(params):
+            return None
+        for name, val in zip(params, args):
+            bound[name] = val
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in params:
+                bound[kw.arg] = self.eval(kw.value, env)
+        defaults = fn.args.defaults
+        for param, default in zip(params[len(params) - len(defaults):],
+                                  defaults):
+            if param not in bound:
+                bound[param] = self.eval(default, env)
+        for param in params:
+            bound.setdefault(param, Value.unknown())
+        return bound
+
+    def _walk_helper_call(self, fn: ast.FunctionDef, node: ast.Call,
+                          env: dict[str, Value]) -> None:
+        """Walk a module-level helper at this call site when it receives a
+        buffer or the ctx (its accesses inherit the caller's guards)."""
+        if self._call_depth >= self.MAX_CALL_DEPTH:
+            return
+        bound = self._bind_call_args(fn, node, env)
+        if bound is None:
+            return
+        if not any(v.buffer is not None or v.is_ctx
+                   for v in bound.values()):
+            return
+        self._call_depth += 1
+        try:
+            self.walk_body(fn.body, bound)
+        finally:
+            self._call_depth -= 1
+
+    def _walk_call_into(self, closure: tuple, node: ast.Call,
+                        env: dict[str, Value]) -> None:
+        """Walk a kernel-nested closure (e.g. the tiled Sobel's ``at``)."""
+        fn, closure_env = closure
+        if self._call_depth >= self.MAX_CALL_DEPTH:
+            return
+        bound = self._bind_call_args(fn, node, env)
+        if bound is None:
+            return
+        merged = dict(closure_env)
+        merged.update(bound)
+        self._call_depth += 1
+        try:
+            self.walk_body(fn.body, merged)
+        finally:
+            self._call_depth -= 1
+
+    # -- guard refinement ----------------------------------------------------
+
+    def _set_bound(self, env: dict[str, Value], name: str, *,
+                   lo: Optional[LinExpr] = None,
+                   hi: Optional[LinExpr] = None) -> None:
+        val = env.get(name)
+        if val is None:
+            val = Value.unknown()
+        new_lo, new_hi = val.interval.lo, val.interval.hi
+        if lo is not None:
+            if new_lo is None or not self.assumptions.prove_nonneg(
+                    new_lo - lo):
+                new_lo = lo
+        if hi is not None:
+            if new_hi is None or not self.assumptions.prove_nonneg(
+                    hi - new_hi):
+                new_hi = hi
+        env[name] = Value(Interval(lo=new_lo, hi=new_hi), val.taint,
+                         val.lin, val.buffer, val.func, val.is_ctx)
+
+    def _linearize(self, node: ast.AST, env: dict[str, Value]
+                   ) -> Optional[tuple[str, int, Interval]]:
+        """Decompose ``node`` as ``coeff*var + residual``; best effort."""
+        if isinstance(node, ast.Name) and node.id in env:
+            return node.id, 1, Interval.const(0)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self._linearize(node.left, env)
+                sign = -1 if isinstance(node.op, ast.Sub) else 1
+                if left is not None:
+                    var, coeff, residual = left
+                    right_val = self.eval(node.right, env)
+                    return var, coeff, residual.add(
+                        right_val.interval.scale(sign))
+                right = self._linearize(node.right, env)
+                if right is not None and sign == 1:
+                    var, coeff, residual = right
+                    left_val = self.eval(node.left, env)
+                    return var, coeff, residual.add(left_val.interval)
+                return None
+            if isinstance(node.op, ast.Mult):
+                for factor, other in ((node.left, node.right),
+                                      (node.right, node.left)):
+                    if isinstance(factor, ast.Constant) and isinstance(
+                            factor.value, int) and factor.value > 0:
+                        inner = self._linearize(other, env)
+                        if inner is not None:
+                            var, coeff, residual = inner
+                            return (var, coeff * factor.value,
+                                    residual.scale(factor.value))
+        return None
+
+    def _refine_cmp(self, left: ast.AST, op: ast.cmpop, right: ast.AST,
+                    env: dict[str, Value]) -> None:
+        """Apply one comparison known to hold to ``env``."""
+        lin = self._linearize(left, env)
+        if lin is None:
+            lin = self._linearize(right, env)
+            if lin is None:
+                return
+            op = _MIRROR.get(type(op))
+            if op is None:
+                return
+            left, right = right, left
+            op = op()
+        var, coeff, residual = lin
+        bound = self.eval(right, env)
+        if isinstance(op, (ast.Lt, ast.LtE)):
+            if bound.interval.hi is None:
+                return
+            slack = 1 if isinstance(op, ast.Lt) else 0
+            # coeff*var <= bound - residual - slack
+            top = bound.interval.hi - LinExpr.const(slack)
+            if residual.lo is None:
+                return
+            top = top - residual.lo
+            hi = top.floordiv(coeff, self.assumptions) if coeff != 1 \
+                else top
+            if hi is not None:
+                self._set_bound(env, var, hi=hi)
+        elif isinstance(op, (ast.Gt, ast.GtE)):
+            if bound.interval.lo is None or residual.hi is None:
+                return
+            slack = 1 if isinstance(op, ast.Gt) else 0
+            base = bound.interval.lo + LinExpr.const(slack) - residual.hi
+            if coeff != 1:
+                # ceil division: floor((base + coeff - 1)/coeff)
+                base = base + LinExpr.const(coeff - 1)
+                lo = base.floordiv(coeff, self.assumptions)
+            else:
+                lo = base
+            if lo is not None:
+                self._set_bound(env, var, lo=lo)
+        elif isinstance(op, ast.Eq):
+            if coeff == 1 and residual.is_exact_const \
+                    and residual.lo.const_value == 0:
+                self._set_bound(env, var, lo=bound.interval.lo,
+                                hi=bound.interval.hi)
+        elif isinstance(op, ast.NotEq):
+            self._refine_noteq(var, coeff, residual, bound, env)
+
+    def _refine_noteq(self, var: str, coeff: int, residual: Interval,
+                      bound: Value, env: dict[str, Value]) -> None:
+        """``var != value``: shave an endpoint that provably equals it."""
+        if coeff != 1 or not residual.is_exact_const \
+                or residual.lo.const_value != 0:
+            return
+        val = env.get(var)
+        if val is None or bound.interval.lo is None \
+                or bound.interval.hi is None:
+            return
+        iv = val.interval
+        if iv.lo is not None and self.assumptions.prove_zero(
+                iv.lo - bound.interval.lo) and self.assumptions.prove_zero(
+                bound.interval.hi - bound.interval.lo):
+            self._set_bound(env, var, lo=iv.lo + LinExpr.const(1))
+            val = env[var]
+            iv = val.interval
+        if iv.hi is not None and self.assumptions.prove_zero(
+                iv.hi - bound.interval.hi) and self.assumptions.prove_zero(
+                bound.interval.hi - bound.interval.lo):
+            self._set_bound(env, var, hi=iv.hi - LinExpr.const(1))
+
+    def refine(self, test: ast.AST, positive: bool,
+               env: dict[str, Value]) -> None:
+        """Refine ``env`` under the knowledge that ``test`` is
+        ``positive``."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self.refine(test.operand, not positive, env)
+            return
+        if isinstance(test, ast.BoolOp):
+            if isinstance(test.op, ast.And) and positive:
+                for v in test.values:
+                    self.refine(v, True, env)
+            elif isinstance(test.op, ast.Or) and not positive:
+                for v in test.values:
+                    self.refine(v, False, env)
+            return
+        if isinstance(test, ast.Compare):
+            comparators = [test.left] + list(test.comparators)
+            for (lhs, op, rhs) in zip(comparators, test.ops,
+                                      comparators[1:]):
+                applied = op if positive else _NEGATE[type(op)]()
+                self._refine_cmp(lhs, applied, rhs, env)
+
+    def test_pins(self, test: ast.AST, env: dict[str, Value]) -> tuple:
+        """Equality pins (``if lid == 0``) carried by a positive branch.
+
+        Each pin is ``(var, value, kind)`` where kind records which id the
+        pinned variable derives from: ``global`` pins select one item in
+        the whole launch, ``local`` pins one item per workgroup.
+        """
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1 \
+                or not isinstance(test.ops[0], ast.Eq):
+            return ()
+        sides = (test.left, test.comparators[0])
+        for var_side, const_side in (sides, sides[::-1]):
+            if isinstance(var_side, ast.Name):
+                val = env.get(var_side.id)
+                const = self.eval(const_side, env)
+                if val is not None and TAINT_ITEM in val.taint \
+                        and const.interval.is_exact_const:
+                    atoms = val.lin.atoms() if val.lin is not None \
+                        else set()
+                    if any(a.startswith("gid:") for a in atoms):
+                        kind = "global"
+                    elif any(a.startswith("lid:") for a in atoms):
+                        kind = "local"
+                    else:
+                        kind = "item"
+                    return ((var_side.id,
+                             str(const.interval.lo.const_value), kind),)
+        return ()
+
+    # -- statement walking ---------------------------------------------------
+
+    def walk_body(self, stmts: list[ast.stmt],
+                  env: dict[str, Value]) -> bool:
+        """Walk statements; returns True when control cannot fall
+        through (every path returned/raised)."""
+        for stmt in stmts:
+            if self._walk_stmt(stmt, env):
+                return True
+        return False
+
+    def _walk_stmt(self, stmt: ast.stmt, env: dict[str, Value]) -> bool:
+        if isinstance(stmt, ast.Assign):
+            self._do_assign(stmt.targets, stmt.value, env)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._do_assign([stmt.target], stmt.value, env)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            self._do_augassign(stmt, env)
+            return False
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Yield):
+                self._do_yield(value, env)
+            else:
+                self.eval(value, env)
+            return False
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(stmt.value, env)
+            if self._call_depth == 0:
+                # Returns inside called helpers exit the helper, not the
+                # kernel — only top-level returns matter for divergence.
+                self.returns.append(ReturnPoint(
+                    stmt, self._branch_taints(), self.scope))
+            return True
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, env)
+        if isinstance(stmt, ast.For):
+            self._walk_for(stmt, env)
+            return False
+        if isinstance(stmt, ast.While):
+            self._walk_while(stmt, env)
+            return False
+        if isinstance(stmt, ast.FunctionDef):
+            env[stmt.name] = Value(func=(stmt, dict(env)))
+            return False
+        if isinstance(stmt, (ast.Pass, ast.Assert, ast.Import,
+                             ast.ImportFrom, ast.Global, ast.Nonlocal)):
+            return False
+        # Unmodelled statements (with, try, ...) are walked for accesses
+        # only, conservatively keeping the current env.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._walk_stmt(child, env)
+        return False
+
+    def _do_assign(self, targets: list[ast.expr], value: ast.expr,
+                   env: dict[str, Value]) -> None:
+        if (len(targets) == 1 and isinstance(targets[0], ast.Tuple)
+                and isinstance(value, ast.Tuple)
+                and len(targets[0].elts) == len(value.elts)):
+            for t, v in zip(targets[0].elts, value.elts):
+                self._do_assign([t], v, env)
+            return
+        val = self.eval(value, env)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = val
+            elif isinstance(target, ast.Subscript):
+                self._record_subscript(target, env, is_write=True)
+            elif isinstance(target, ast.Tuple):
+                for t in target.elts:
+                    if isinstance(t, ast.Name):
+                        env[t.id] = Value.unknown(val.taint)
+
+    def _do_augassign(self, stmt: ast.AugAssign,
+                      env: dict[str, Value]) -> None:
+        synth = ast.BinOp(left=_load_copy(stmt.target), op=stmt.op,
+                          right=stmt.value)
+        ast.copy_location(synth, stmt)
+        ast.fix_missing_locations(synth)
+        val = self.eval(synth, env)
+        if isinstance(stmt.target, ast.Name):
+            env[stmt.target.id] = val
+        elif isinstance(stmt.target, ast.Subscript):
+            self._record_subscript(stmt.target, env, is_write=False)
+            self._record_subscript(stmt.target, env, is_write=True)
+
+    def _do_yield(self, node: ast.Yield, env: dict[str, Value]) -> None:
+        if self._call_depth == 0 and isinstance(node.value, ast.Name) \
+                and node.value.id in ("BARRIER", "WF_SYNC"):
+            self.syncs.append(SyncPoint(
+                node.value.id, node, self._branch_taints(), self.scope))
+
+    def _walk_if(self, stmt: ast.If, env: dict[str, Value]) -> bool:
+        cond_taint = self.eval(stmt.test, env).taint
+        body_env = _copy_env(env)
+        else_env = _copy_env(env)
+        self.refine(stmt.test, True, body_env)
+        self.refine(stmt.test, False, else_env)
+        pins = self.test_pins(stmt.test, env)
+        self._branch_stack.append((cond_taint, pins))
+        body_exits = self.walk_body(stmt.body, body_env)
+        self._branch_stack.pop()
+        self._branch_stack.append((cond_taint, ()))
+        else_exits = self.walk_body(stmt.orelse, else_env) \
+            if stmt.orelse else False
+        self._branch_stack.pop()
+        if body_exits and else_exits and stmt.orelse:
+            return True
+        if body_exits:
+            env.clear()
+            env.update(else_env)
+            return False
+        if else_exits and stmt.orelse:
+            env.clear()
+            env.update(body_env)
+            return False
+        merged = _merge_envs(body_env, else_env, self.assumptions)
+        env.clear()
+        env.update(merged)
+        return False
+
+    def _loop_reassigned(self, body: list[ast.stmt]
+                         ) -> dict[str, str]:
+        """name -> 'shrink' | 'grow' | 'other' for body-assigned vars."""
+        out: dict[str, str] = {}
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.AugAssign) and isinstance(
+                        node.target, ast.Name):
+                    name = node.target.id
+                    if isinstance(node.op, (ast.Sub, ast.RShift,
+                                            ast.FloorDiv, ast.Div)):
+                        kind = "shrink"
+                    elif isinstance(node.op, ast.Add):
+                        kind = "grow"
+                    else:
+                        kind = "other"
+                    out[name] = kind if out.get(name, kind) == kind \
+                        else "other"
+                elif isinstance(node, ast.Assign):
+                    # Only name (re)bindings widen; subscript stores do not
+                    # rebind the names appearing in their index.
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            out[t.id] = "other"
+                        elif isinstance(t, ast.Tuple):
+                            for e in t.elts:
+                                if isinstance(e, ast.Name):
+                                    out[e.id] = "other"
+        return out
+
+    def _widen_for_loop(self, env: dict[str, Value],
+                        kinds: dict[str, str]) -> None:
+        for name, kind in kinds.items():
+            val = env.get(name)
+            if val is None:
+                continue
+            iv = val.interval
+            if kind == "shrink":
+                iv = Interval(lo=None, hi=iv.hi)
+            elif kind == "grow":
+                iv = Interval(lo=iv.lo, hi=None)
+            else:
+                iv = Interval.unknown()
+            env[name] = Value(iv, val.taint, None, val.buffer, val.func,
+                             val.is_ctx)
+
+    def _walk_for(self, stmt: ast.For, env: dict[str, Value]) -> None:
+        target_iv = self._iterable_interval(stmt.iter, env)
+        taint = self.eval(stmt.iter, env).taint
+        kinds = self._loop_reassigned(stmt.body)
+        self._widen_for_loop(env, kinds)
+        if isinstance(stmt.target, ast.Name):
+            env[stmt.target.id] = Value(
+                target_iv, taint,
+                LinExpr.atom(f"it:{stmt.target.id}:{stmt.lineno}"))
+        elif isinstance(stmt.target, ast.Tuple):
+            for t in stmt.target.elts:
+                if isinstance(t, ast.Name):
+                    env[t.id] = Value.unknown(taint)
+        self._branch_stack.append((taint, ()))
+        self.walk_body(stmt.body, env)
+        self._branch_stack.pop()
+
+    def _iterable_interval(self, node: ast.AST,
+                           env: dict[str, Value]) -> Interval:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "range" and 1 <= len(node.args) <= 3:
+            args = [self.eval(a, env) for a in node.args]
+            if len(node.args) == 1:
+                lo = Interval.const(0)
+                hi_src = args[0]
+            else:
+                lo = args[0].interval
+                hi_src = args[1]
+            hi = None if hi_src.interval.hi is None \
+                else hi_src.interval.hi - LinExpr.const(1)
+            return Interval(lo=lo.lo, hi=hi)
+        if isinstance(node, (ast.Tuple, ast.List)) and node.elts:
+            out: Optional[Interval] = None
+            for e in node.elts:
+                iv = self.eval(e, env).interval
+                out = iv if out is None else out.hull(iv, self.assumptions)
+            return out or Interval.unknown()
+        return Interval.unknown()
+
+    def _walk_while(self, stmt: ast.While, env: dict[str, Value]) -> None:
+        taint = self.eval(stmt.test, env).taint
+        kinds = self._loop_reassigned(stmt.body)
+        entry_his = {
+            name: env[name].interval.hi
+            for name, kind in kinds.items()
+            if kind == "shrink" and name in env
+        }
+        self._widen_for_loop(env, kinds)
+        body_env = _copy_env(env)
+        self.refine(stmt.test, True, body_env)
+        self._branch_stack.append((taint, ()))
+        self.walk_body(stmt.body, body_env)
+        self._branch_stack.pop()
+        # After the loop: shrink-only vars keep their entry upper bound and
+        # gain the negated condition; everything else stays widened.
+        for name, hi in entry_his.items():
+            if hi is not None:
+                self._set_bound(env, name, hi=hi)
+        self.refine(stmt.test, False, env)
+
+
+_MIRROR: dict[type, type] = {
+    ast.Lt: ast.Gt, ast.LtE: ast.GtE, ast.Gt: ast.Lt, ast.GtE: ast.LtE,
+    ast.Eq: ast.Eq, ast.NotEq: ast.NotEq,
+}
+_NEGATE: dict[type, type] = {
+    ast.Lt: ast.GtE, ast.LtE: ast.Gt, ast.Gt: ast.LtE, ast.GtE: ast.Lt,
+    ast.Eq: ast.NotEq, ast.NotEq: ast.Eq,
+    ast.In: ast.NotIn, ast.NotIn: ast.In,
+    ast.Is: ast.IsNot, ast.IsNot: ast.Is,
+}
+
+
+def _load_copy(node: ast.expr) -> ast.expr:
+    clone = ast.copy_location(
+        ast.parse(ast.unparse(node), mode="eval").body, node)
+    ast.fix_missing_locations(clone)
+    return clone
+
+
+def _copy_env(env: dict[str, Value]) -> dict[str, Value]:
+    return dict(env)
+
+
+def _merge_envs(a: dict[str, Value], b: dict[str, Value],
+                assumptions: Assumptions) -> dict[str, Value]:
+    out: dict[str, Value] = {}
+    for name in set(a) | set(b):
+        va, vb = a.get(name), b.get(name)
+        if va is None or vb is None:
+            val = va or vb
+            out[name] = Value(Interval.unknown(), val.taint, None,
+                             val.buffer, val.func, val.is_ctx)
+            continue
+        if va is vb:
+            out[name] = va
+            continue
+        out[name] = Value(
+            va.interval.hull(vb.interval, assumptions),
+            va.taint | vb.taint,
+            va.lin if (va.lin is not None and vb.lin is not None
+                       and va.lin.key() == vb.lin.key()) else None,
+            va.buffer if va.buffer == vb.buffer else None,
+            va.func if va.func is vb.func else None,
+            va.is_ctx and vb.is_ctx,
+        )
+    return out

@@ -1,0 +1,889 @@
+"""The static kernel analyzer: discovery, factory envs, and the KA-* rules.
+
+Entry point is :func:`analyze_kernel_file`.  For one kernel module it
+
+1. discovers every kernel function — any ``def`` whose first parameter is
+   ``ctx``, at module level or nested inside a factory (the repo's
+   ``_make_emulator_*(off)`` idiom);
+2. reconstructs the factory environment a kernel closes over: factory
+   parameters are resolved from defaults, from call sites (``
+   _make_emulator_scalar(off)`` inside ``make_sobel_spec``), or from a
+   same-name default elsewhere in the module (the reduction factories are
+   dispatched through a dict, so ``wg``/``ept`` resolve via
+   ``reduction_layout``'s defaults); closure variables whose value is only
+   bounded (``off = 1 if padded else 0``) become symbolic *atoms* so the
+   same symbol appears in both the kernel's guards and the buffer-extent
+   contract;
+3. walks the kernel with :class:`~repro.analysis.kernelmodel.KernelWalker`
+   and applies the rules:
+
+   ========== ======== ====================================================
+   rule       severity checks
+   ========== ======== ====================================================
+   KA-OOB     error    buffer index provably within the contract extent
+   KA-BARRIER error    no barrier under an id-/data-dependent branch; no
+                       early return that strands a later barrier
+   KA-RACE    error/   write-write candidates: unpinned uniform writes are
+              warning  errors (the dynamic ``repro.simgpu.racecheck``
+                       tracker raises ``RaceConditionError`` for the same
+                       pattern at runtime — the two detectors cross-cite);
+                       pinned writes are checked pairwise for overlap
+   KA-COALESCE warning non-unit stride in the fastest-varying id
+   KA-LOCALMEM error/  requested local memory vs the DeviceSpec limit,
+              warning  maximized over legal workgroup shapes
+   KA-UNUSED  warning  buffer arguments the kernel never reads or writes
+   KA-CONTRACT info    subscripted arguments with no shape contract
+   ========== ======== ====================================================
+
+The analyzer is deliberately one-sided: it reports what it cannot *prove*
+safe.  Index taints are a heuristic in one direction only — a write indexed
+by a work-item id is assumed distinct per item (the dynamic race tracker
+remains the ground truth there), but everything KA-OOB accepts is a real
+proof under the contract assumptions.
+
+Suppressions: a ``# repro: ignore[KA-OOB]`` comment on the finding line or
+on the ``def`` line of any enclosing function silences the named rules
+(comma-separated; bare ``# repro: ignore`` silences all).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Optional
+
+from ..simgpu.device import DeviceSpec, W8000
+from .contracts import DEFAULT_ASSUME, Contract, contract_for
+from .findings import Finding, Severity
+from .kernelmodel import (
+    TAINT_DATA,
+    TAINT_GROUP,
+    TAINT_ITEM,
+    Access,
+    KernelWalker,
+    Value,
+)
+from .symbolic import Assumptions, AtomInfo, Interval, LinExpr
+
+#: Bytes per local-memory element the emulator allocates by default
+#: (``run_kernel(..., local_itemsize=4)``).
+LOCAL_ITEMSIZE = 4
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\-\s]+)\])?"
+)
+
+_DIM_FAMILIES = ("local_size", "global_size", "num_groups")
+
+
+def parse_suppressions(source: str) -> dict[int, Optional[set[str]]]:
+    """line -> suppressed rule set (``None`` = all rules)."""
+    out: dict[int, Optional[set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {r.strip() for r in m.group(1).split(",")
+                           if r.strip()}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# module constants (including relative imports of plain int constants)
+# ---------------------------------------------------------------------------
+
+
+def _const_eval(node: ast.AST, consts: dict[str, int]) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_eval(node.operand, consts)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _const_eval(node.left, consts)
+        right = _const_eval(node.right, consts)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv) and right != 0:
+            return left // right
+    return None
+
+
+def _collect_plain_constants(tree: ast.Module) -> dict[str, int]:
+    consts: dict[str, int] = {}
+    for node in tree.body:
+        targets: list[str] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+            value = node.value
+        if not targets or value is None:
+            continue
+        folded = _const_eval(value, consts)
+        if folded is not None:
+            for name in targets:
+                consts[name] = folded
+    return consts
+
+
+def module_constants(tree: ast.Module, path: Path) -> dict[str, int]:
+    """Module-level int constants, following relative imports one hop."""
+    consts: dict[str, int] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom) or node.level == 0 \
+                or node.module is None:
+            continue
+        base = path.parent
+        for _ in range(node.level - 1):
+            base = base.parent
+        target = base.joinpath(*node.module.split("."))
+        target = target.with_suffix(".py")
+        if not target.is_file():
+            continue
+        try:
+            sub = ast.parse(target.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue
+        sub_consts = _collect_plain_constants(sub)
+        for alias in node.names:
+            if alias.name in sub_consts:
+                consts[alias.asname or alias.name] = sub_consts[alias.name]
+    consts.update(_collect_plain_constants(tree))
+    return consts
+
+
+# ---------------------------------------------------------------------------
+# function discovery
+# ---------------------------------------------------------------------------
+
+
+def _collect_functions(tree: ast.Module) -> dict[ast.FunctionDef,
+                                                 list[ast.FunctionDef]]:
+    """Every FunctionDef -> chain of enclosing FunctionDefs (outer first)."""
+    out: dict[ast.FunctionDef, list[ast.FunctionDef]] = {}
+
+    def visit(node: ast.AST, chain: list[ast.FunctionDef]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.FunctionDef):
+                out[child] = list(chain)
+                visit(child, chain + [child])
+            elif isinstance(child, (ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            else:
+                visit(child, chain)
+
+    visit(tree, [])
+    return out
+
+
+def _is_kernel(fn: ast.FunctionDef) -> bool:
+    return bool(fn.args.args) and fn.args.args[0].arg == "ctx"
+
+
+def _param_names(fn: ast.FunctionDef) -> list[str]:
+    return [a.arg for a in fn.args.args] + \
+        [a.arg for a in fn.args.kwonlyargs]
+
+
+def _param_defaults(fn: ast.FunctionDef) -> dict[str, ast.expr]:
+    out: dict[str, ast.expr] = {}
+    pos = fn.args.args
+    for param, default in zip(pos[len(pos) - len(fn.args.defaults):],
+                              fn.args.defaults):
+        out[param.arg] = default
+    for param, default in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        if default is not None:
+            out[param.arg] = default
+    return out
+
+
+# ---------------------------------------------------------------------------
+# factory environment reconstruction
+# ---------------------------------------------------------------------------
+
+
+class _EnvBuilder:
+    """Rebuilds the closure environment of factory functions."""
+
+    def __init__(self, walker: KernelWalker, tree: ast.Module,
+                 consts: dict[str, int],
+                 functions: dict[ast.FunctionDef, list[ast.FunctionDef]],
+                 ) -> None:
+        self.walker = walker
+        self.tree = tree
+        self.consts = consts
+        self.functions = functions
+        self._cache: dict[Optional[ast.FunctionDef], dict[str, Value]] = {}
+        self._building: set[int] = set()
+
+    def module_env(self) -> dict[str, Value]:
+        return {name: Value.const(v) for name, v in self.consts.items()}
+
+    def env_for(self, fn: Optional[ast.FunctionDef]) -> dict[str, Value]:
+        if fn is None:
+            return dict(self.module_env())
+        if fn in self._cache:
+            return dict(self._cache[fn])
+        if id(fn) in self._building:        # recursion cycle
+            return dict(self.module_env())
+        self._building.add(id(fn))
+        try:
+            chain = self.functions.get(fn, [])
+            env = self.env_for(chain[-1] if chain else None)
+            for name in _param_names(fn):
+                env[name] = self._resolve_param(fn, name)
+            self._exec_factory_body(fn, env)
+        finally:
+            self._building.discard(id(fn))
+        self._cache[fn] = dict(env)
+        return env
+
+    def _resolve_param(self, fn: ast.FunctionDef, name: str) -> Value:
+        defaults = _param_defaults(fn)
+        default = defaults.get(name)
+        if default is not None:
+            if isinstance(default, ast.Constant) and isinstance(
+                    default.value, bool):
+                # bool flags select variants; analyze both (unknown).
+                return Value.unknown()
+            chain = self.functions.get(fn, [])
+            val = self.walker.eval(
+                default, self.env_for(chain[-1] if chain else None))
+            if val.interval.lo is not None or val.interval.hi is not None:
+                return val
+        site_vals = self._call_site_values(fn, name)
+        if site_vals:
+            out = site_vals[0]
+            for other in site_vals[1:]:
+                out = Value(
+                    out.interval.hull(other.interval,
+                                      self.walker.assumptions),
+                    out.taint | other.taint,
+                )
+            return out
+        fallback = self._same_name_default(name)
+        if fallback is not None:
+            return fallback
+        return Value.unknown()
+
+    def _call_site_values(self, fn: ast.FunctionDef,
+                          name: str) -> list[Value]:
+        params = _param_names(fn)
+        try:
+            index = params.index(name)
+        except ValueError:
+            return []
+        values: list[Value] = []
+        for node in ast.walk(self.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == fn.name):
+                continue
+            caller = self._enclosing_function(node)
+            arg: Optional[ast.expr] = None
+            if index < len(node.args):
+                arg = node.args[index]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == name:
+                        arg = kw.value
+            if arg is None:
+                continue
+            env = self.env_for(caller)
+            values.append(self.walker.eval(arg, env))
+        return values
+
+    def _enclosing_function(self, node: ast.AST
+                            ) -> Optional[ast.FunctionDef]:
+        best: Optional[ast.FunctionDef] = None
+        for fn in self.functions:
+            if fn.lineno <= node.lineno <= (fn.end_lineno or fn.lineno):
+                if best is None or fn.lineno > best.lineno:
+                    best = fn
+        return best
+
+    def _same_name_default(self, name: str) -> Optional[Value]:
+        """A parameter of the same name elsewhere with a constant default
+        (covers factories dispatched through dicts, where no call site
+        mentions the factory by name)."""
+        candidates: set[int] = set()
+        for fn in self.functions:
+            default = _param_defaults(fn).get(name)
+            if default is None:
+                continue
+            folded = _const_eval(default, self.consts)
+            if folded is not None:
+                candidates.add(folded)
+        if len(candidates) == 1:
+            return Value.const(candidates.pop())
+        return None
+
+    def _exec_factory_body(self, fn: ast.FunctionDef,
+                           env: dict[str, Value]) -> None:
+        """Execute the straight-line Assigns of a factory body."""
+        for stmt in fn.body:
+            if isinstance(stmt, ast.Assign):
+                self.walker._do_assign(stmt.targets, stmt.value, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self.walker._do_assign([stmt.target], stmt.value, env)
+
+
+def _atomize_closure(env: dict[str, Value],
+                     assumptions: Assumptions) -> None:
+    """Turn bounded-but-inexact closure values into named atoms so guards
+    and contract extents share the symbol (``off`` in the padded kernels).
+    """
+    for name, val in list(env.items()):
+        if val.buffer or val.func or val.is_ctx or val.taint:
+            continue
+        iv = val.interval
+        if iv.lo is None or iv.hi is None:
+            continue
+        if not (iv.lo.is_const and iv.hi.is_const):
+            continue
+        lo, hi = iv.lo.const_value, iv.hi.const_value
+        if lo == hi or lo.denominator != 1 or hi.denominator != 1:
+            continue
+        if lo < 0:
+            continue    # the prover only multiplies nonnegative atoms
+        assumptions.declare(name, AtomInfo(minimum=int(lo),
+                                           maximum=int(hi)))
+        expr = LinExpr.atom(name)
+        env[name] = Value(Interval.exact(expr), frozenset(), expr)
+
+
+# ---------------------------------------------------------------------------
+# per-kernel analysis
+# ---------------------------------------------------------------------------
+
+
+class _KernelAnalysis:
+    """One kernel function analyzed against its contract."""
+
+    def __init__(self, *, path: Path, fn: ast.FunctionDef,
+                 chain: list[ast.FunctionDef], tree: ast.Module,
+                 consts: dict[str, int],
+                 functions: dict[ast.FunctionDef, list[ast.FunctionDef]],
+                 module_contract: Contract, device: DeviceSpec) -> None:
+        self.path = path
+        self.fn = fn
+        self.scope = ".".join(f.name for f in chain + [fn])
+        self.contract = module_contract.for_kernel(fn.name)
+        self.device = device
+        self.assumptions = Assumptions()
+        self._declare_base_atoms()
+
+        module_level = {f.name: f for f, parents in functions.items()
+                        if not parents}
+        self.walker = KernelWalker(
+            assumptions=self.assumptions, bindings={},
+            module_functions=module_level, scope=self.scope,
+        )
+        builder = _EnvBuilder(self.walker, tree, consts, functions)
+        closure_env = builder.env_for(chain[-1] if chain else None)
+        _atomize_closure(closure_env, self.assumptions)
+        self.env = closure_env
+        self._bind_ndrange_names()
+        self._resolve_bindings()
+        self._bind_params()
+        self.findings: list[Finding] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def _declare_base_atoms(self) -> None:
+        for d in range(3):
+            self.assumptions.declare(
+                f"local_size:{d}",
+                AtomInfo(minimum=1,
+                         maximum=self.device.max_workgroup_size))
+            self.assumptions.declare(f"num_groups:{d}",
+                                     AtomInfo(minimum=1))
+            self.assumptions.declare(f"global_size:{d}",
+                                     AtomInfo(minimum=1))
+        assume = dict(DEFAULT_ASSUME)
+        assume.update(self.contract.assume)
+        for name, spec in assume.items():
+            self.assumptions.declare(name, AtomInfo(
+                minimum=spec.get("min"), maximum=spec.get("max"),
+                multiple_of=spec.get("mult", 1)))
+
+    def _bind_ndrange_names(self) -> None:
+        """Expose ``local_size:0``-style names for extent expressions."""
+        for family in _DIM_FAMILIES:
+            for d in range(3):
+                expr = self.walker._dim_expr(family, d)
+                self.env[f"{family}:{d}"] = Value(
+                    Interval.exact(expr), frozenset(), expr)
+
+    def _resolve_bindings(self) -> None:
+        for atom, expr_text in self.contract.bindings.items():
+            val = self._eval_extent_expr(expr_text)
+            if val is None:
+                continue
+            iv = val.interval
+            if iv.lo is not None and iv.hi is not None \
+                    and self.assumptions.prove_zero(iv.hi - iv.lo):
+                self.walker.bindings[atom] = iv.lo
+                self.env[atom] = Value(Interval.exact(iv.lo),
+                                       frozenset(), iv.lo)
+
+    def _bind_params(self) -> None:
+        params = [a.arg for a in self.fn.args.args]
+        for i, name in enumerate(params):
+            if i == 0:
+                self.env[name] = Value(is_ctx=True)
+            elif name in self.contract.buffers:
+                self.env[name] = Value(buffer=name)
+            elif name in DEFAULT_ASSUME or name in self.contract.assume:
+                expr = LinExpr.atom(name)
+                self.env[name] = Value(Interval.exact(expr), frozenset(),
+                                       expr)
+            elif name not in self.env:
+                self.env[name] = Value.unknown()
+
+    # -- contract extents ----------------------------------------------------
+
+    def _eval_extent_expr(self, text: str) -> Optional[Value]:
+        try:
+            expr = ast.parse(text, mode="eval").body
+        except SyntaxError:
+            return None
+        expr = _DimNameRewriter().visit(expr)
+        ast.fix_missing_locations(expr)
+        return self.walker.eval(expr, self.env)
+
+    def extents_for(self, buffer: str) -> Optional[list[Interval]]:
+        texts = self.contract.buffers.get(buffer)
+        if texts is None:
+            return None
+        out: list[Interval] = []
+        for text in texts:
+            val = self._eval_extent_expr(text)
+            out.append(Interval.unknown() if val is None else val.interval)
+        return out
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        self.walker.walk_body(self.fn.body, dict(self.env))
+        self._rule_oob()
+        self._rule_barrier()
+        self._rule_race()
+        self._rule_coalesce()
+        self._rule_unused()
+        self._rule_contract_coverage()
+        return self.findings
+
+    def _emit(self, rule: str, severity: Severity, line: int,
+              message: str, **extra: object) -> None:
+        self.findings.append(Finding(
+            rule=rule, severity=severity, path=str(self.path), line=line,
+            scope=self.scope, message=message, extra=dict(extra)))
+
+    def _is_local_buffer(self, buffer: str) -> bool:
+        texts = self.contract.buffers.get(buffer, ())
+        return any("local_size" in t for t in texts)
+
+    # -- KA-OOB --------------------------------------------------------------
+
+    def _rule_oob(self) -> None:
+        extent_cache: dict[str, Optional[list[Interval]]] = {}
+        for acc in self.walker.accesses:
+            if not acc.checked:
+                continue
+            if acc.buffer not in extent_cache:
+                extent_cache[acc.buffer] = self.extents_for(acc.buffer)
+            extents = extent_cache[acc.buffer]
+            if extents is None:
+                continue
+            if len(extents) != len(acc.axes):
+                self._emit(
+                    "KA-OOB", Severity.WARNING, acc.node.lineno,
+                    f"'{acc.buffer}' indexed with {len(acc.axes)} "
+                    f"subscripts but its contract declares "
+                    f"{len(extents)} axes")
+                continue
+            for i, (axis, extent) in enumerate(zip(acc.axes, extents)):
+                self._check_axis(acc, i, axis, extent)
+
+    def _check_axis(self, acc: Access, i: int, axis: Interval,
+                    extent: Interval) -> None:
+        kind = "write" if acc.is_write else "read"
+        if axis.lo is None or not self.assumptions.prove_nonneg(axis.lo):
+            self._emit(
+                "KA-OOB", Severity.ERROR, acc.node.lineno,
+                f"axis {i} of '{acc.buffer}' {kind} may be negative: "
+                f"index in {axis.describe()}")
+            return
+        if axis.hi is None or extent.lo is None \
+                or not self.assumptions.prove_nonneg(
+                    extent.lo - LinExpr.const(1) - axis.hi):
+            self._emit(
+                "KA-OOB", Severity.ERROR, acc.node.lineno,
+                f"axis {i} of '{acc.buffer}' {kind} may exceed the "
+                f"extent: index in {axis.describe()}, extent "
+                f"{extent.describe()}")
+
+    # -- KA-BARRIER ----------------------------------------------------------
+
+    def _rule_barrier(self) -> None:
+        divergent = frozenset({TAINT_ITEM, TAINT_DATA})
+        for sync in self.walker.syncs:
+            bad = sync.branch_taints & divergent
+            if bad:
+                self._emit(
+                    "KA-BARRIER", Severity.ERROR, sync.node.lineno,
+                    f"{sync.kind} under a branch that depends on "
+                    f"{'/'.join(sorted(bad))} state; work-items of one "
+                    f"group may diverge at this barrier (the emulator "
+                    f"raises BarrierDivergenceError)")
+        if not self.walker.syncs:
+            return
+        for ret in self.walker.returns:
+            if not (ret.branch_taints & divergent):
+                continue
+            later = [s for s in self.walker.syncs
+                     if s.node.lineno > ret.node.lineno]
+            if later:
+                self._emit(
+                    "KA-BARRIER", Severity.ERROR, ret.node.lineno,
+                    "work-item may return under an id-/data-dependent "
+                    "branch before a later barrier, stranding the rest "
+                    "of its group",
+                    barrier_line=later[0].node.lineno)
+
+    # -- KA-RACE -------------------------------------------------------------
+
+    def _rule_race(self) -> None:
+        pinned: list[Access] = []
+        for acc in self.walker.accesses:
+            if not acc.is_write or not acc.checked:
+                continue
+            if TAINT_ITEM in acc.taints:
+                continue        # per-item index: assumed distinct
+            if not acc.pins:
+                self._emit(
+                    "KA-RACE", Severity.ERROR, acc.node.lineno,
+                    f"write to '{acc.buffer}' is not distinguished by a "
+                    f"work-item id or an `== const` guard; concurrent "
+                    f"items write the same element (the dynamic detector "
+                    f"in repro.simgpu.racecheck raises "
+                    f"RaceConditionError for exactly this)")
+                continue
+            pinned.append(acc)
+            if TAINT_GROUP not in acc.taints and all(
+                    kind != "global" for _, _, kind in acc.pins):
+                self._emit(
+                    "KA-RACE", Severity.WARNING, acc.node.lineno,
+                    f"write to '{acc.buffer}' is pinned to one item per "
+                    f"workgroup but its index does not vary by group; "
+                    f"every group writes the same element")
+        for i, a in enumerate(pinned):
+            for b in pinned[i + 1:]:
+                if a.buffer != b.buffer or a.pins == b.pins:
+                    continue
+                if not self._provably_disjoint(a, b):
+                    self._emit(
+                        "KA-RACE", Severity.WARNING, b.node.lineno,
+                        f"pinned writes to '{a.buffer}' from different "
+                        f"guards may overlap (cannot prove the index "
+                        f"ranges disjoint)",
+                        other_line=a.node.lineno)
+
+    def _provably_disjoint(self, a: Access, b: Access) -> bool:
+        if len(a.axes) != len(b.axes):
+            return False
+        for ax_a, ax_b in zip(a.axes, b.axes):
+            if ax_a.hi is not None and ax_b.lo is not None \
+                    and self.assumptions.prove_nonneg(
+                        ax_b.lo - ax_a.hi - LinExpr.const(1)):
+                return True
+            if ax_b.hi is not None and ax_a.lo is not None \
+                    and self.assumptions.prove_nonneg(
+                        ax_a.lo - ax_b.hi - LinExpr.const(1)):
+                return True
+        return False
+
+    # -- KA-COALESCE ---------------------------------------------------------
+
+    def _rule_coalesce(self) -> None:
+        seen: set[tuple[str, str]] = set()
+        for acc in self.walker.accesses:
+            if not acc.checked or acc.pins:
+                continue
+            if acc.buffer not in self.contract.buffers \
+                    or self._is_local_buffer(acc.buffer):
+                continue
+            last = acc.lins[-1]
+            if last is None:
+                continue
+            stride = self._fastest_id_coeff(last)
+            if stride is None:
+                # Fastest id appearing only in a slower axis is the
+                # transposed-access smell.
+                if any(lin is not None
+                       and self._fastest_id_coeff(lin) is not None
+                       for lin in acc.lins[:-1]):
+                    key = (acc.buffer, "transposed")
+                    if key not in seen:
+                        seen.add(key)
+                        self._emit(
+                            "KA-COALESCE", Severity.WARNING,
+                            acc.node.lineno,
+                            f"fastest-varying work-item id indexes a "
+                            f"non-contiguous axis of '{acc.buffer}' "
+                            f"(transposed access)")
+                continue
+            if abs(stride) != 1:
+                key = (acc.buffer, f"stride:{stride}")
+                if key not in seen:
+                    seen.add(key)
+                    self._emit(
+                        "KA-COALESCE", Severity.WARNING, acc.node.lineno,
+                        f"stride {stride} in the fastest-varying "
+                        f"work-item id when indexing '{acc.buffer}'; "
+                        f"adjacent items touch non-adjacent elements")
+
+    @staticmethod
+    def _fastest_id_coeff(lin: LinExpr) -> Optional[int]:
+        coeff = None
+        for mono, c in lin.terms.items():
+            if len(mono) == 1 and mono[0] in ("gid:0", "lid:0"):
+                if c.denominator != 1:
+                    return None
+                coeff = (coeff or 0) + int(c)
+        return coeff
+
+    # -- KA-UNUSED / KA-CONTRACT ---------------------------------------------
+
+    def _loaded_names(self) -> set[str]:
+        return {n.id for n in ast.walk(self.fn)
+                if isinstance(n, ast.Name)}
+
+    def _rule_unused(self) -> None:
+        used = self._loaded_names()
+        for arg in self.fn.args.args[1:]:
+            if arg.arg in self.contract.buffers and arg.arg not in used:
+                self._emit(
+                    "KA-UNUSED", Severity.WARNING, self.fn.lineno,
+                    f"buffer argument '{arg.arg}' is never used")
+
+    def _rule_contract_coverage(self) -> None:
+        params = {a.arg for a in self.fn.args.args[1:]}
+        flagged: set[str] = set()
+        for node in ast.walk(self.fn):
+            if isinstance(node, ast.Subscript) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id in params \
+                    and node.value.id not in self.contract.buffers \
+                    and node.value.id not in flagged:
+                flagged.add(node.value.id)
+                self._emit(
+                    "KA-CONTRACT", Severity.INFO, node.lineno,
+                    f"'{node.value.id}' is subscripted but has no shape "
+                    f"contract; its accesses are unchecked")
+
+
+class _DimNameRewriter(ast.NodeTransformer):
+    """``local_size[0]`` in extent expressions -> Name('local_size:0')."""
+
+    def visit_Subscript(self, node: ast.Subscript) -> ast.AST:
+        if isinstance(node.value, ast.Name) \
+                and node.value.id in _DIM_FAMILIES \
+                and isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, int):
+            return ast.Name(id=f"{node.value.id}:{node.slice.value}",
+                            ctx=ast.Load())
+        return self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# KA-LOCALMEM: KernelSpec local_mem lambdas vs the device limit
+# ---------------------------------------------------------------------------
+
+
+class _NumEvalError(Exception):
+    pass
+
+
+def _num_eval(node: ast.AST, consts: dict[str, int], ls_name: str,
+              shape: tuple[int, ...]) -> int:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id in consts:
+            return consts[node.id]
+        raise _NumEvalError(node.id)
+    if isinstance(node, ast.Subscript) and isinstance(
+            node.value, ast.Name) and node.value.id == ls_name:
+        if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, int):
+            if node.slice.value >= len(shape):
+                raise _NumEvalError("rank")
+            return shape[node.slice.value]
+        raise _NumEvalError("subscript")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_num_eval(node.operand, consts, ls_name, shape)
+    if isinstance(node, ast.BinOp):
+        left = _num_eval(node.left, consts, ls_name, shape)
+        right = _num_eval(node.right, consts, ls_name, shape)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv) and right != 0:
+            return left // right
+    raise _NumEvalError(type(node).__name__)
+
+
+def _legal_shapes(max_wg: int) -> list[tuple[int, ...]]:
+    shapes: list[tuple[int, ...]] = []
+    a = 1
+    while a <= max_wg:
+        shapes.append((a,))
+        b = 1
+        while a * b <= max_wg:
+            shapes.append((a, b))
+            b *= 2
+        a *= 2
+    return shapes
+
+
+def _rule_localmem(path: Path, tree: ast.Module, consts: dict[str, int],
+                   device: DeviceSpec) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name_ok = (isinstance(func, ast.Name)
+                   and func.id == "KernelSpec") or (
+            isinstance(func, ast.Attribute) and func.attr == "KernelSpec")
+        if not name_ok:
+            continue
+        spec_name = "<spec>"
+        lam: Optional[ast.Lambda] = None
+        for kw in node.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, str):
+                spec_name = kw.value.value
+            if kw.arg == "local_mem" and isinstance(kw.value, ast.Lambda):
+                lam = kw.value
+        if lam is None or not isinstance(lam.body, ast.Dict):
+            continue
+        ls_name = lam.args.args[0].arg if lam.args.args else "local_size"
+        usages: list[tuple[int, tuple[int, ...]]] = []
+        for shape in _legal_shapes(device.max_workgroup_size):
+            total = 0
+            try:
+                for value in lam.body.values:
+                    total += _num_eval(value, consts, ls_name, shape)
+            except _NumEvalError:
+                continue
+            usages.append((total * LOCAL_ITEMSIZE, shape))
+        if not usages:
+            findings.append(Finding(
+                rule="KA-LOCALMEM", severity=Severity.INFO,
+                path=str(path), line=lam.lineno, scope=spec_name,
+                message=f"local_mem for spec '{spec_name}' is not "
+                        f"statically evaluable"))
+            continue
+        limit = device.local_mem_per_cu
+        min_bytes, _ = min(usages)
+        max_bytes, max_shape = max(usages)
+        if min_bytes > limit:
+            findings.append(Finding(
+                rule="KA-LOCALMEM", severity=Severity.ERROR,
+                path=str(path), line=lam.lineno, scope=spec_name,
+                message=f"local memory for spec '{spec_name}' needs "
+                        f"{min_bytes} bytes at every workgroup shape, "
+                        f"device limit is {limit}"))
+        elif max_bytes > limit:
+            findings.append(Finding(
+                rule="KA-LOCALMEM", severity=Severity.WARNING,
+                path=str(path), line=lam.lineno, scope=spec_name,
+                message=f"local memory for spec '{spec_name}' reaches "
+                        f"{max_bytes} bytes at workgroup shape "
+                        f"{max_shape}, device limit is {limit}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_kernel_file(path: Path, *,
+                        device: DeviceSpec = W8000) -> list[Finding]:
+    """Analyze one kernel module; returns unsuppressed findings."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="KA-PARSE", severity=Severity.ERROR, path=str(path),
+            line=exc.lineno or 1, scope="<module>",
+            message=f"cannot parse: {exc.msg}")]
+    suppressions = parse_suppressions(source)
+    consts = module_constants(tree, path)
+    functions = _collect_functions(tree)
+    contract = contract_for(path.stem, tree)
+
+    findings: list[Finding] = []
+    for fn, chain in functions.items():
+        if not _is_kernel(fn):
+            continue
+        analysis = _KernelAnalysis(
+            path=path, fn=fn, chain=chain, tree=tree, consts=consts,
+            functions=functions, module_contract=contract, device=device)
+        findings.extend(analysis.run())
+    findings.extend(_rule_localmem(path, tree, consts, device))
+
+    deduped: list[Finding] = []
+    seen: set[tuple[str, int, str, str]] = set()
+    for f in sorted(findings, key=lambda f: (f.line, f.rule, f.message)):
+        key = (f.rule, f.line, f.scope, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if _is_suppressed(f, functions, suppressions):
+            continue
+        deduped.append(f)
+    return deduped
+
+
+def _is_suppressed(finding: Finding,
+                   functions: dict[ast.FunctionDef, list[ast.FunctionDef]],
+                   suppressions: dict[int, Optional[set[str]]]) -> bool:
+    candidate_lines = {finding.line}
+    for fn in functions:
+        if fn.lineno <= finding.line <= (fn.end_lineno or fn.lineno):
+            candidate_lines.add(fn.lineno)
+    for line in candidate_lines:
+        if line not in suppressions:
+            continue
+        rules = suppressions[line]
+        if rules is None or finding.rule in rules:
+            return True
+    return False

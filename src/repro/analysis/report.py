@@ -1,0 +1,66 @@
+"""Text and JSON reporters for analyzer/linter findings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO
+
+from .findings import Finding, Severity
+
+
+@dataclass
+class Report:
+    """The outcome of one full analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    kernels_analyzed: int = 0
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for f in self.findings:
+            out[f.severity.name.lower()] += 1
+        return out
+
+    @property
+    def gate_failed(self) -> bool:
+        """True when any non-baselined error-severity finding exists."""
+        return any(f.severity >= Severity.ERROR for f in self.findings)
+
+
+def render_text(report: Report, stream: IO[str]) -> None:
+    for f in sorted(report.findings,
+                    key=lambda f: (f.path, f.line, f.rule)):
+        stream.write(f.format() + "\n")
+    counts = report.counts()
+    stream.write(
+        f"repro.analysis: {report.files_scanned} files, "
+        f"{report.kernels_analyzed} kernels; "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    if report.baselined:
+        stream.write(f"; {len(report.baselined)} baselined")
+    stream.write("\n")
+    if report.gate_failed:
+        stream.write("repro.analysis: FAIL (non-baselined errors)\n")
+    else:
+        stream.write("repro.analysis: OK\n")
+
+
+def render_json(report: Report, stream: IO[str]) -> None:
+    payload = {
+        "version": 1,
+        "ok": not report.gate_failed,
+        "files_scanned": report.files_scanned,
+        "kernels_analyzed": report.kernels_analyzed,
+        "counts": report.counts(),
+        "findings": [f.to_json() for f in sorted(
+            report.findings, key=lambda f: (f.path, f.line, f.rule))],
+        "baselined": [f.to_json() for f in sorted(
+            report.baselined, key=lambda f: (f.path, f.line, f.rule))],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")

@@ -1,0 +1,393 @@
+"""Symbolic interval arithmetic for the static kernel analyzer.
+
+The kernel analyzer reasons about index expressions like ``off + 4*gy + dj``
+without running the kernel.  Values are modelled as :class:`LinExpr` —
+linear combinations of *atoms* with :class:`~fractions.Fraction`
+coefficients — and bounds questions ("can this index reach the buffer
+extent?") reduce to proving ``LinExpr >= 0`` under the per-atom assumptions
+collected in an :class:`Assumptions` table (``h`` is a positive multiple of
+4, a local size never exceeds the device workgroup limit, ...).
+
+An atom is a string naming one opaque quantity: a scalar kernel argument
+(``"h"``), an NDRange dimension (``"local_size:0"``), a closure variable
+the factory left symbolic (``"off"``), or a floor-division term
+(``fd(h-5, 4)``).  Products of atoms (needed for tile extents like
+``(local_size:0 + 2) * (local_size:1 + 2)``) appear as monomials — sorted
+tuples of atom names.
+
+The prover is deliberately one-sided: :meth:`Assumptions.prove_nonneg`
+answers "provably yes" or "don't know", never "provably no".  Rules treat
+"don't know" as a finding, so the analyzer errs toward reporting — the
+fixture suite pins down that the real kernel set stays clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+#: Monomial: sorted tuple of atom names.  ``()`` is the constant term.
+Monomial = tuple[str, ...]
+
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class AtomInfo:
+    """Assumptions about one atom's value.
+
+    ``minimum``/``maximum`` bound the atom when known (``None`` means
+    unbounded on that side); ``multiple_of`` records a divisibility fact
+    (image sides are multiples of 4) that makes floor divisions exact.
+    """
+
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+    multiple_of: int = 1
+
+
+class Assumptions:
+    """Per-atom value assumptions plus the ``>= 0`` prover."""
+
+    def __init__(self, atoms: Mapping[str, AtomInfo] | None = None) -> None:
+        self._atoms: dict[str, AtomInfo] = dict(atoms or {})
+        #: parent atom -> (quotient atom, divisor); ``h = 4 * (h/4)``.
+        self._derived: dict[str, tuple[str, int]] = {}
+
+    def copy(self) -> "Assumptions":
+        out = Assumptions(self._atoms)
+        out._derived = dict(self._derived)
+        return out
+
+    def declare(self, name: str, info: AtomInfo) -> None:
+        self._atoms[name] = info
+
+    def declare_derived(self, parent: str, quotient: str, k: int,
+                        info: AtomInfo) -> None:
+        """Record an exact division fact: ``parent == k * quotient``."""
+        self._atoms[quotient] = info
+        self._derived[parent] = (quotient, k)
+
+    def get(self, name: str) -> AtomInfo:
+        return self._atoms.get(name, AtomInfo())
+
+    def _canonical(self, expr: "LinExpr") -> "LinExpr":
+        """Rewrite parents of exact divisions in terms of their quotient
+        atom (``h`` -> ``4 * (h/4)``) so mixed expressions compare."""
+        if not self._derived:
+            return expr
+        terms: dict[Monomial, Fraction] = {}
+        for mono, coeff in expr.terms.items():
+            atoms = []
+            for atom in mono:
+                derived = self._derived.get(atom)
+                if derived is not None:
+                    quotient, k = derived
+                    atoms.append(quotient)
+                    coeff = coeff * k
+                else:
+                    atoms.append(atom)
+            key = tuple(sorted(atoms))
+            terms[key] = terms.get(key, Fraction(0)) + coeff
+        return LinExpr(terms)
+
+    # -- the prover ----------------------------------------------------------
+
+    def _monomial_range(self, mono: Monomial) -> tuple[
+        Optional[Fraction], Optional[Fraction]
+    ]:
+        """(min, max) of a monomial product, ``None`` for unbounded."""
+        lo: Optional[Fraction] = _ONE
+        hi: Optional[Fraction] = _ONE
+        for atom in mono:
+            info = self.get(atom)
+            a_lo = None if info.minimum is None else Fraction(info.minimum)
+            a_hi = None if info.maximum is None else Fraction(info.maximum)
+            # Only nonnegative factor ranges keep interval products simple;
+            # every atom the analyzer creates is a size or an id (>= 0).
+            if a_lo is None or a_lo < 0:
+                return None, None
+            lo = None if lo is None else lo * a_lo
+            hi = None if (hi is None or a_hi is None) else hi * a_hi
+        return lo, hi
+
+    def prove_nonneg(self, expr: "LinExpr") -> bool:
+        """Is ``expr >= 0`` provable under the assumptions?
+
+        Each monomial contributes its worst-case end (minimum for positive
+        coefficients, maximum for negative); the sum must stay >= 0.
+        """
+        total = Fraction(0)
+        resolved = self._canonical(expr.resolve_fd(self))
+        for mono, coeff in resolved.terms.items():
+            if not mono:
+                total += coeff
+                continue
+            lo, hi = self._monomial_range(mono)
+            bound = lo if coeff > 0 else hi
+            if bound is None:
+                return False
+            total += coeff * bound
+        return total >= 0
+
+    def prove_zero(self, expr: "LinExpr") -> bool:
+        resolved = self._canonical(expr.resolve_fd(self))
+        return all(c == 0 for c in resolved.terms.values())
+
+
+class LinExpr:
+    """Linear combination of monomials with Fraction coefficients."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Fraction] | None = None
+                 ) -> None:
+        self.terms: dict[Monomial, Fraction] = {
+            m: c for m, c in (terms or {}).items() if c != 0
+        }
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int | Fraction) -> "LinExpr":
+        return cls({(): Fraction(value)})
+
+    @classmethod
+    def atom(cls, name: str) -> "LinExpr":
+        return cls({(name,): _ONE})
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return all(not m for m in self.terms)
+
+    @property
+    def const_value(self) -> Fraction:
+        return self.terms.get((), Fraction(0))
+
+    def atoms(self) -> set[str]:
+        return {a for mono in self.terms for a in mono}
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff
+        return LinExpr(terms)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int | Fraction) -> "LinExpr":
+        f = Fraction(factor)
+        return LinExpr({m: c * f for m, c in self.terms.items()})
+
+    def multiply(self, other: "LinExpr") -> Optional["LinExpr"]:
+        """Product; ``None`` when it would exceed degree 2 per factor pair
+        blow-up limits (kept tiny — tile extents are the only real use)."""
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                mono = tuple(sorted(m1 + m2))
+                if len(mono) > 3:
+                    return None
+                terms[mono] = terms.get(mono, Fraction(0)) + c1 * c2
+        return LinExpr(terms)
+
+    # -- floor division ------------------------------------------------------
+
+    def floordiv(self, k: int, assumptions: "Assumptions"
+                 ) -> Optional["LinExpr"]:
+        """``self // k`` as a LinExpr, exact where divisibility allows.
+
+        Splits ``self`` into a part whose every term is divisible by ``k``
+        (coefficient divisible, or the atom itself is a known multiple)
+        plus a constant remainder; when that split is total the floor is
+        exact.  Otherwise the quotient is represented as an opaque
+        ``fd(expr, k)`` atom, bounded via ``(expr - k + 1)/k <= fd <=
+        expr/k`` at proof time (see :meth:`resolve_fd`).
+        """
+        if k <= 0:
+            return None
+        exact = LinExpr()
+        residue = Fraction(0)
+        for mono, coeff in self.terms.items():
+            if not mono:
+                residue += coeff
+                continue
+            if coeff.denominator == 1 and coeff.numerator % k == 0:
+                exact = exact + LinExpr({mono: coeff / k})
+                continue
+            if (len(mono) == 1 and coeff.denominator == 1
+                    and assumptions.get(mono[0]).multiple_of % k == 0):
+                # atom = k * (atom/k): fold via a derived quotient atom
+                q = f"{mono[0]}/{k}"
+                info = assumptions.get(mono[0])
+                assumptions.declare_derived(mono[0], q, k, AtomInfo(
+                    minimum=None if info.minimum is None
+                    else info.minimum // k,
+                    maximum=None if info.maximum is None
+                    else info.maximum // k,
+                    multiple_of=max(info.multiple_of // k, 1),
+                ))
+                exact = exact + LinExpr({(q,): coeff})
+                continue
+            return self._opaque_fd(k, assumptions)
+        if residue.denominator != 1:
+            return self._opaque_fd(k, assumptions)
+        return exact + LinExpr.const(int(residue) // k)
+
+    def _opaque_fd(self, k: int, assumptions: "Assumptions") -> "LinExpr":
+        name = f"fd({self.key()},{k})"
+        assumptions.declare(name, AtomInfo(minimum=None, maximum=None))
+        # Record the inner expression so resolve_fd can relax the atom.
+        _FD_TABLE[name] = (LinExpr(self.terms), k)
+        return LinExpr.atom(name)
+
+    def resolve_fd(self, assumptions: "Assumptions") -> "LinExpr":
+        """Replace opaque fd atoms with their rational relaxation, picking
+        the end that *weakens* the expression (sound for prove_nonneg)."""
+        out = LinExpr()
+        for mono, coeff in self.terms.items():
+            fd_atoms = [a for a in mono if a in _FD_TABLE]
+            if not fd_atoms or len(mono) != 1:
+                out = out + LinExpr({mono: coeff})
+                continue
+            inner, k = _FD_TABLE[mono[0]]
+            inner = inner.resolve_fd(assumptions)
+            if coeff > 0:
+                # fd >= (inner - k + 1)/k
+                out = out + (inner - LinExpr.const(k - 1)).scale(
+                    coeff / k)
+            else:
+                # fd <= inner/k
+                out = out + inner.scale(coeff / k)
+        return out
+
+    # -- misc ----------------------------------------------------------------
+
+    def key(self) -> str:
+        """Canonical text form (stable across runs, used in messages)."""
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono in sorted(self.terms, key=lambda m: (len(m), m)):
+            coeff = self.terms[mono]
+            name = "*".join(mono) if mono else ""
+            if not mono:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coeff}*{name}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinExpr({self.key()})"
+
+
+#: Opaque floor-division atoms -> (inner expression, divisor).  Process-wide
+#: is fine: names embed the canonical inner form, so collisions agree.
+_FD_TABLE: dict[str, tuple[LinExpr, int]] = {}
+
+
+@dataclass
+class Interval:
+    """A value known to lie in ``[lo, hi]`` (either side may be unknown)."""
+
+    lo: Optional[LinExpr] = None
+    hi: Optional[LinExpr] = None
+
+    @classmethod
+    def exact(cls, expr: LinExpr) -> "Interval":
+        return cls(lo=expr, hi=expr)
+
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        return cls.exact(LinExpr.const(value))
+
+    @classmethod
+    def unknown(cls) -> "Interval":
+        return cls(None, None)
+
+    @property
+    def is_exact_const(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo.is_const and self.hi.is_const
+                and self.lo.const_value == self.hi.const_value)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(
+            lo=None if self.lo is None or other.lo is None
+            else self.lo + other.lo,
+            hi=None if self.hi is None or other.hi is None
+            else self.hi + other.hi,
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(
+            lo=None if self.lo is None or other.hi is None
+            else self.lo - other.hi,
+            hi=None if self.hi is None or other.lo is None
+            else self.hi - other.lo,
+        )
+
+    def negate(self) -> "Interval":
+        return Interval(
+            lo=None if self.hi is None else self.hi.scale(-1),
+            hi=None if self.lo is None else self.lo.scale(-1),
+        )
+
+    def scale(self, factor: int | Fraction) -> "Interval":
+        if factor < 0:
+            return self.negate().scale(-factor)
+        return Interval(
+            lo=None if self.lo is None else self.lo.scale(factor),
+            hi=None if self.hi is None else self.hi.scale(factor),
+        )
+
+    def multiply(self, other: "Interval",
+                 assumptions: Assumptions) -> "Interval":
+        """Interval product, defined only when both are provably >= 0."""
+        for side in (self.lo, other.lo):
+            if side is None or not assumptions.prove_nonneg(side):
+                return Interval.unknown()
+        lo = self.lo.multiply(other.lo) if (
+            self.lo is not None and other.lo is not None) else None
+        hi = self.hi.multiply(other.hi) if (
+            self.hi is not None and other.hi is not None) else None
+        return Interval(lo=lo, hi=hi)
+
+    def floordiv(self, k: int, assumptions: Assumptions) -> "Interval":
+        return Interval(
+            lo=None if self.lo is None
+            else self.lo.floordiv(k, assumptions),
+            hi=None if self.hi is None
+            else self.hi.floordiv(k, assumptions),
+        )
+
+    def hull(self, other: "Interval",
+             assumptions: Assumptions) -> "Interval":
+        """Smallest provable interval containing both (drops to unknown
+        per side when the order of the ends cannot be proved)."""
+        lo: Optional[LinExpr] = None
+        if self.lo is not None and other.lo is not None:
+            if assumptions.prove_nonneg(other.lo - self.lo):
+                lo = self.lo
+            elif assumptions.prove_nonneg(self.lo - other.lo):
+                lo = other.lo
+        hi: Optional[LinExpr] = None
+        if self.hi is not None and other.hi is not None:
+            if assumptions.prove_nonneg(self.hi - other.hi):
+                hi = self.hi
+            elif assumptions.prove_nonneg(other.hi - self.hi):
+                hi = other.hi
+        return Interval(lo=lo, hi=hi)
+
+    def describe(self) -> str:
+        lo = "?" if self.lo is None else self.lo.key()
+        hi = "?" if self.hi is None else self.hi.key()
+        return f"[{lo}, {hi}]"

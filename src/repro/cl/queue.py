@@ -254,7 +254,7 @@ class CommandQueue:
                     f"buffer is mapped to the host"
                 )
         global_size = tuple(int(g) for g in global_size)
-        local_size = tuple(int(l) for l in local_size)
+        local_size = tuple(int(loc) for loc in local_size)
         spec = kernel.spec
         device = self.context.device
 

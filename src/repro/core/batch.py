@@ -48,7 +48,7 @@ from ..simgpu.device import CPUSpec, DeviceSpec, I5_3470, W8000
 from ..types import Image, SharpnessParams
 from .bufferpool import BufferPool
 from .config import OPTIMIZED, OptimizationFlags
-from .pipeline import GPUPipeline, GPUResult
+from .pipeline import GPUPipeline
 from .plan import PlanCache
 from .stream import FrameStats, frame_stats, resolve_frame_id
 

@@ -17,14 +17,21 @@ from ..simgpu.device import DeviceSpec
 
 
 def ceil_div(a: int, b: int) -> int:
-    """Ceiling division for grid sizing."""
+    """Ceiling division for grid sizing.
+
+    Grid extents are counts, so both operands must be non-negative (and
+    the divisor positive) — a negative extent is always an upstream bug,
+    and ``-(-a // b)`` would silently round it toward zero instead.
+    """
+    if a < 0:
+        raise InvalidWorkGroupError(f"extent must be >= 0, got {a}")
     if b <= 0:
         raise InvalidWorkGroupError(f"divisor must be > 0, got {b}")
     return -(-a // b)
 
 
 def round_up(value: int, multiple: int) -> int:
-    """Round ``value`` up to a multiple of ``multiple``."""
+    """Round ``value`` up to a non-negative multiple of ``multiple``."""
     return ceil_div(value, multiple) * multiple
 
 
@@ -38,6 +45,11 @@ def pick_local_size(global_size: tuple[int, ...], device: DeviceSpec,
     """
     if not global_size:
         raise InvalidWorkGroupError("empty global size")
+    if any(g <= 0 for g in global_size):
+        raise InvalidWorkGroupError(
+            f"global size must be positive in every dimension, "
+            f"got {global_size}"
+        )
     if len(global_size) == 1:
         g = global_size[0]
         limit = min(device.max_workgroup_size, 4 * device.wavefront_size)
@@ -59,12 +71,12 @@ def pick_local_size(global_size: tuple[int, ...], device: DeviceSpec,
 def n_groups_of(global_size: tuple[int, ...],
                 local_size: tuple[int, ...]) -> int:
     groups = 1
-    for g, l in zip(global_size, local_size):
-        if g % l:
+    for g, loc in zip(global_size, local_size):
+        if g % loc:
             raise InvalidWorkGroupError(
-                f"global size {g} not divisible by local size {l}"
+                f"global size {g} not divisible by local size {loc}"
             )
-        groups *= g // l
+        groups *= g // loc
     return groups
 
 

@@ -201,7 +201,10 @@ def make_sharpness_fused_spec(*, padded: bool = False, vector: bool = False,
 
     if vector:
 
-        def emulator(ctx, up, p_edge, src, dst, mean, params, h, w):
+        # Vectorized by 4-wide pixel groups: the stride-4 item id is the
+        # float4 layout, not an accident (same trade as the Sobel vector
+        # kernel).
+        def emulator(ctx, up, p_edge, src, dst, mean, params, h, w):  # repro: ignore[KA-COALESCE]
             gx4 = ctx.get_global_id(0)
             gy = ctx.get_global_id(1)
             if 4 * gx4 >= w or gy >= h:

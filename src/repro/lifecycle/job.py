@@ -336,7 +336,7 @@ class BatchJob:
                     source=lambda: (self.loader(p) for p in todo_paths),
                     frame_ids=todo_ids,
                 )
-        except Exception:
+        except Exception:  # repro: ignore[PL-BROAD-EXCEPT] crash boundary: mark failed, re-raise
             self._finalize("failed")
             raise
         finally:

@@ -319,7 +319,7 @@ class Manifest:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException:  # repro: ignore[PL-BROAD-EXCEPT] tmp cleanup, re-raised
             tmp.unlink(missing_ok=True)
             raise
         return path
@@ -339,9 +339,9 @@ class Manifest:
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             if not isinstance(data, dict):
-                raise ValueError("manifest is not a JSON object")
+                raise ValidationError("manifest is not a JSON object")
             if data.get("version", 0) > MANIFEST_VERSION:
-                raise ValueError(
+                raise ValidationError(
                     f"manifest version {data['version']} is newer than "
                     f"supported {MANIFEST_VERSION}"
                 )

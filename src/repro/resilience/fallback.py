@@ -143,7 +143,7 @@ class FallbackPipeline:
             self.breaker.record_failure()
             return self._degrade(image, reason=type(exc).__name__,
                                  cause=exc)
-        except Exception:
+        except Exception:  # repro: ignore[PL-BROAD-EXCEPT]
             # Unknown failure: count it against the breaker (and release a
             # half-open probe slot) but never mask it with the fallback.
             self.breaker.record_failure()

@@ -171,7 +171,7 @@ def execute(fn, policy: RetryPolicy | None = None, *,
     for attempt in range(1, policy.max_attempts + 1):
         try:
             result = fn()
-        except Exception as exc:  # noqa: BLE001 - classified below
+        except Exception as exc:  # noqa: BLE001  # repro: ignore[PL-BROAD-EXCEPT] classified below
             last_exc = exc
             if not retryable(exc):
                 _count(obs, "permanent")

@@ -133,18 +133,18 @@ def _validate_ndrange(
         )
     groups = []
     wg_items = 1
-    for g, l in zip(global_size, local_size):
-        if g <= 0 or l <= 0:
+    for g, loc in zip(global_size, local_size):
+        if g <= 0 or loc <= 0:
             raise InvalidWorkGroupError(
                 f"sizes must be positive, got global={global_size} "
                 f"local={local_size}"
             )
-        if g % l:
+        if g % loc:
             raise InvalidWorkGroupError(
-                f"global size {g} not divisible by local size {l}"
+                f"global size {g} not divisible by local size {loc}"
             )
-        groups.append(g // l)
-        wg_items *= l
+        groups.append(g // loc)
+        wg_items *= loc
     if wg_items > device.max_workgroup_size:
         raise InvalidWorkGroupError(
             f"workgroup of {wg_items} items exceeds device limit "
@@ -315,7 +315,8 @@ def run_kernel(
         for local_idx in np.ndindex(*tuple(local_size)[::-1]):
             lid = tuple(int(i) for i in local_idx[::-1])
             gid = tuple(
-                g * l + i for g, l, i in zip(group_id, local_size, lid)
+                g * loc + i
+                for g, loc, i in zip(group_id, local_size, lid)
             )
             ctx = WorkItemCtx(
                 global_id=gid,

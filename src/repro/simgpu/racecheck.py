@@ -21,6 +21,13 @@ to straddle another wavefront's sync can go undetected.  The
 wavefront-portability hazard itself is covered separately (the unrolled
 reduction produces *wrong sums* on narrow-wavefront devices, which the test
 suite asserts directly).
+
+This tracker is the *dynamic* half of race coverage: it only sees the
+cells the launched NDRange actually touches.  The static ``KA-RACE`` rule
+of :mod:`repro.analysis.kernels` proves the complementary half before any
+launch — it flags writes whose index does not depend on the work-item id
+at all, and write pairs it cannot prove disjoint over *every* legal
+NDRange.  A kernel should be clean under both.
 """
 
 from __future__ import annotations

@@ -33,7 +33,21 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
     try:
         tmp.write_text(text)
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException:  # repro: ignore[PL-BROAD-EXCEPT] tmp cleanup, re-raised
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_bytes(path: str | pathlib.Path,
+                       data: bytes) -> pathlib.Path:
+    """Binary sibling of :func:`atomic_write_text`: temp file + rename."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:  # repro: ignore[PL-BROAD-EXCEPT] tmp cleanup, re-raised
         tmp.unlink(missing_ok=True)
         raise
     return path
@@ -89,9 +103,8 @@ def write_pgm(path, plane: np.ndarray) -> None:
         raise ValidationError(f"PGM needs a 2-D plane, got ndim={arr.ndim}")
     u8 = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
     h, w = u8.shape
-    with open(path, "wb") as fh:
-        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
-        fh.write(u8.tobytes())
+    header = f"P5\n{w} {h}\n255\n".encode("ascii")
+    atomic_write_bytes(path, header + u8.tobytes())
 
 
 def read_ppm(path) -> np.ndarray:
@@ -123,6 +136,5 @@ def write_ppm(path, rgb: np.ndarray) -> None:
         )
     u8 = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
     h, w, _ = u8.shape
-    with open(path, "wb") as fh:
-        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
-        fh.write(u8.tobytes())
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    atomic_write_bytes(path, header + u8.tobytes())

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from ..errors import ValidationError
+
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  *, title: str | None = None, floatfmt: str = ".4g") -> str:
@@ -25,7 +27,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     widths = [len(h) for h in headers]
     for row in norm_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells, expected {len(headers)}"
             )
         for i, cell in enumerate(row):

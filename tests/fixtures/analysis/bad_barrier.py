@@ -1,0 +1,40 @@
+"""Fixture: seeded barrier-divergence bugs for the static analyzer."""
+
+from repro.simgpu.emulator import BARRIER
+
+ANALYSIS_CONTRACTS = {
+    "buffers": {
+        "src": ("n",),
+        "dst": ("n",),
+    },
+    "assume": {"n": {"min": 1}},
+}
+
+
+def item_divergent(ctx, src, dst, n):
+    """Only items with ``gx < 7`` reach the barrier: guaranteed hang."""
+    gx = ctx.get_global_id(0)
+    if gx < 7:
+        yield BARRIER
+    if gx < n:
+        dst[gx] = src[0]
+
+
+def early_return_before_barrier(ctx, src, dst, n):
+    """Tail items return before the barrier the rest will wait at."""
+    gx = ctx.get_global_id(0)
+    if gx >= n:
+        return
+    v = src[gx]
+    yield BARRIER
+    dst[gx] = v
+
+
+def data_divergent(ctx, src, dst, n):
+    """Barrier under a data-dependent branch: items disagree per input."""
+    gx = ctx.get_global_id(0)
+    v = src[0]
+    if v > 0.5:
+        yield BARRIER
+    if gx < n:
+        dst[gx] = v

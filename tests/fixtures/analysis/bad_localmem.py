@@ -1,0 +1,40 @@
+"""Fixture: seeded local-memory overflow for the static analyzer.
+
+The specs are never launched; the analyzer evaluates the ``local_mem``
+lambdas over every legal workgroup shape of the target device.
+"""
+
+from repro.cl.kernel import KernelSpec
+
+
+def _emulator(ctx, src, dst, n, big):
+    gx = ctx.get_global_id(0)
+    if gx < n:
+        dst[gx] = src[gx]
+
+
+def _cost(device, global_size, local_size, args):
+    raise NotImplementedError("fixture spec is never launched")
+
+
+#: 32768 elements * 4 bytes = 128 KiB on every shape: exceeds the device
+#: limit no matter how the kernel is launched (KA-LOCALMEM error).
+ALWAYS_OVER = KernelSpec(
+    name="fixture_localmem_always_over",
+    functional=_emulator,
+    cost=_cost,
+    emulator=_emulator,
+    local_mem=lambda local_size, args: {"big": 32768},
+    arg_names=("src", "dst", "n"),
+)
+
+#: Scales with the workgroup: fine at small shapes, over the limit at the
+#: largest legal one (KA-LOCALMEM warning).
+SOMETIMES_OVER = KernelSpec(
+    name="fixture_localmem_sometimes_over",
+    functional=_emulator,
+    cost=_cost,
+    emulator=_emulator,
+    local_mem=lambda local_size, args: {"tile": local_size[0] * 128},
+    arg_names=("src", "dst", "n"),
+)

@@ -1,0 +1,18 @@
+"""Fixture: unused buffer argument and uncoalesced access pattern."""
+
+ANALYSIS_CONTRACTS = {
+    "buffers": {
+        "src": ("h", "w"),
+        "dst": ("h", "w"),
+        "scratch": ("h", "w"),
+    },
+}
+
+
+def strided(ctx, src, dst, scratch, h, w):
+    """``scratch`` is never touched; the live accesses stride by 2."""
+    gx = ctx.get_global_id(0)
+    gy = ctx.get_global_id(1)
+    if gx >= w // 2 or gy >= h:
+        return
+    dst[gy, 2 * gx] = src[gy, 2 * gx]

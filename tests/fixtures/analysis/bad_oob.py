@@ -1,0 +1,48 @@
+"""Fixture: seeded out-of-bounds reads for the static kernel analyzer.
+
+Not a real kernel module — analyzed by ``tests/test_analysis_kernels.py``
+to prove the analyzer catches what it claims to catch.
+"""
+
+ANALYSIS_CONTRACTS = {
+    "buffers": {
+        "src": ("h", "w"),
+        "dst": ("h", "w"),
+    },
+}
+
+
+def oob_row(ctx, src, dst, h, w):
+    """Reads row ``h`` when ``gy == h - 1`` (the +1 has no guard)."""
+    gx = ctx.get_global_id(0)
+    gy = ctx.get_global_id(1)
+    if gx >= w or gy >= h:
+        return
+    dst[gy, gx] = src[gy + 1, gx]
+
+
+def oob_negative(ctx, src, dst, h, w):
+    """Reads column ``-1`` when ``gx == 0``."""
+    gx = ctx.get_global_id(0)
+    gy = ctx.get_global_id(1)
+    if gx >= w or gy >= h:
+        return
+    dst[gy, gx] = src[gy, gx - 1]
+
+
+def oob_suppressed(ctx, src, dst, h, w):  # repro: ignore[KA-OOB]
+    """Same bug as oob_row, silenced by an inline suppression."""
+    gx = ctx.get_global_id(0)
+    gy = ctx.get_global_id(1)
+    if gx >= w or gy >= h:
+        return
+    dst[gy, gx] = src[gy + 1, gx]
+
+
+def clean(ctx, src, dst, h, w):
+    """Control: fully guarded unit-stride copy; must produce no errors."""
+    gx = ctx.get_global_id(0)
+    gy = ctx.get_global_id(1)
+    if gx >= w or gy >= h:
+        return
+    dst[gy, gx] = src[gy, gx]

@@ -1,0 +1,24 @@
+"""Fixture: seeded write-write race for the static analyzer.
+
+``tests/test_analysis_kernels.py`` cross-checks this module both ways:
+the static ``KA-RACE`` rule flags it without running anything, and the
+dynamic :class:`repro.simgpu.racecheck.RaceTracker` raises
+``RaceConditionError`` when the same kernel is actually launched.
+"""
+
+ANALYSIS_CONTRACTS = {
+    "buffers": {
+        "src": ("n",),
+        "dst": ("1",),
+    },
+    "assume": {"n": {"min": 2}},
+}
+
+
+def racy_accumulate(ctx, src, dst, n):
+    """Every item writes ``dst[0]`` — the canonical unsynchronized
+    accumulation bug the tree reduction exists to avoid."""
+    gx = ctx.get_global_id(0)
+    if gx >= n:
+        return
+    dst[0] = dst[0] + src[gx]

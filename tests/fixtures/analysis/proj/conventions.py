@@ -1,0 +1,36 @@
+"""Fixture: one violation of each project-linter convention."""
+
+
+def bad_metric(obs):
+    obs.metrics.counter("frames_total", "missing the repro_ prefix").inc()
+
+
+def bad_raise(x):
+    if x < 0:
+        raise ValueError("should be a repro.errors type")
+
+
+def bad_bare_except(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def broad_except(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def suppressed_broad_except(fn):  # repro: ignore[PL-BROAD-EXCEPT]
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def non_atomic_write(path, text):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

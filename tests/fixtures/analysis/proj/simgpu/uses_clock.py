@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads in a (fake) plan-replayed path (PL-TIME)."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()

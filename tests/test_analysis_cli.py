@@ -1,0 +1,122 @@
+"""The ``python -m repro.analysis`` driver: exit codes, JSON, baseline."""
+
+import io
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.driver import main
+from repro.analysis.findings import Finding, Severity
+from repro.errors import ValidationError
+
+pytestmark = pytest.mark.analysis
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    code = main(list(argv), stdout=out)
+    return code, out.getvalue()
+
+
+def make_root(tmp_path, kernel_fixtures=()):
+    """A minimal repo root: src/repro/kernels with chosen fixtures."""
+    kdir = tmp_path / "src" / "repro" / "kernels"
+    kdir.mkdir(parents=True)
+    for name in kernel_fixtures:
+        shutil.copy(FIXTURES / name, kdir / name)
+    return tmp_path
+
+
+def test_real_repo_gate_is_green():
+    code, out = run_cli("--root", str(REPO))
+    assert code == 0, out
+    assert "repro.analysis: OK" in out
+
+
+def test_json_report_shape():
+    code, out = run_cli("--root", str(REPO), "--format=json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] is True
+    assert payload["counts"]["error"] == 0
+    assert payload["kernels_analyzed"] >= 6
+    assert isinstance(payload["findings"], list)
+
+
+def test_checked_in_error_baseline_is_empty():
+    """Acceptance: the shipped baseline grandfathers no errors."""
+    baseline = load_baseline(REPO / "analysis-baseline.json")
+    assert baseline, "expected the checked-in baseline to exist"
+    assert all(entry["severity"] != "error" for entry in baseline.values())
+
+
+def test_seeded_bugs_fail_the_gate(tmp_path):
+    root = make_root(tmp_path, ["bad_oob.py", "bad_race.py"])
+    code, out = run_cli("--root", str(root))
+    assert code == 1
+    assert "FAIL" in out
+    assert "KA-OOB" in out and "KA-RACE" in out
+
+
+def test_min_severity_filter_hides_warnings(tmp_path):
+    root = make_root(tmp_path, ["bad_misc.py"])
+    code, out = run_cli("--root", str(root), "--min-severity=error")
+    assert code == 0
+    assert "KA-COALESCE" not in out
+
+
+def test_write_baseline_refuses_errors(tmp_path, capsys):
+    root = make_root(tmp_path, ["bad_oob.py"])
+    code, _ = run_cli("--root", str(root), "--write-baseline")
+    assert code == 2
+    assert "refusing to baseline" in capsys.readouterr().err
+
+
+def test_write_then_consume_baseline(tmp_path):
+    root = make_root(tmp_path, ["bad_misc.py"])
+    # First run: warnings fail nothing, but show up.
+    code, out = run_cli("--root", str(root))
+    assert code == 0 and "KA-UNUSED" in out
+    # Grandfather them, then a re-run reports them as baselined only.
+    code, _ = run_cli("--root", str(root), "--write-baseline")
+    assert code == 0
+    code, out = run_cli("--root", str(root))
+    assert code == 0
+    assert "KA-UNUSED" not in out
+    assert "baselined" in out
+    # --no-baseline resurfaces them.
+    code, out = run_cli("--root", str(root), "--no-baseline")
+    assert "KA-UNUSED" in out
+
+
+def test_baseline_rejects_corrupt_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(ValidationError):
+        load_baseline(path)
+
+
+def test_write_baseline_api_refuses_error_findings(tmp_path):
+    bad = Finding(rule="KA-OOB", severity=Severity.ERROR, path="x.py",
+                  line=1, scope="k", message="boom")
+    with pytest.raises(ValidationError, match="refusing to baseline"):
+        write_baseline(tmp_path / "b.json", [bad])
+
+
+def test_severity_parse_rejects_unknown_level():
+    with pytest.raises(ValidationError, match="unknown severity"):
+        Severity.parse("loud")
+
+
+def test_fingerprint_is_line_independent():
+    a = Finding(rule="R", severity=Severity.WARNING, path="d/f.py",
+                line=10, scope="s", message="m")
+    b = Finding(rule="R", severity=Severity.WARNING, path="d/f.py",
+                line=99, scope="s", message="m")
+    assert a.fingerprint == b.fingerprint

@@ -1,0 +1,128 @@
+"""Static kernel analyzer: real kernels stay clean, seeded bugs get caught."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.kernels import analyze_kernel_file
+from repro.errors import RaceConditionError
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import run_kernel
+from repro.simgpu.memory import CheckedArray
+
+pytestmark = pytest.mark.analysis
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+KERNELS = REPO / "src" / "repro" / "kernels"
+FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+
+
+def findings_for(name: str):
+    return analyze_kernel_file(FIXTURES / name)
+
+
+def rules_by_scope(findings):
+    out = {}
+    for f in findings:
+        out.setdefault(f.scope, set()).add(f.rule)
+    return out
+
+
+def test_real_kernel_set_has_no_errors():
+    """The acceptance bar: every shipped kernel proves clean."""
+    for path in sorted(KERNELS.glob("*.py")):
+        errors = [f for f in analyze_kernel_file(path)
+                  if f.severity >= Severity.ERROR]
+        assert not errors, "\n".join(f.format() for f in errors)
+
+
+def test_real_kernel_set_analyzes_every_module():
+    names = {p.name for p in KERNELS.glob("*.py")}
+    assert {"downscale.py", "sobel.py", "sharpness.py", "reduction.py",
+            "upscale_center.py", "upscale_border.py"} <= names
+
+
+def test_oob_fixture_flags_both_seeded_bugs():
+    scopes = rules_by_scope(findings_for("bad_oob.py"))
+    assert "KA-OOB" in scopes["oob_row"]
+    assert "KA-OOB" in scopes["oob_negative"]
+
+
+def test_oob_fixture_reports_direction_and_interval():
+    messages = {f.scope: f.message for f in findings_for("bad_oob.py")
+                if f.rule == "KA-OOB"}
+    assert "may exceed the extent" in messages["oob_row"]
+    assert "may be negative" in messages["oob_negative"]
+
+
+def test_oob_suppression_comment_silences_the_finding():
+    scopes = rules_by_scope(findings_for("bad_oob.py"))
+    assert "oob_suppressed" not in scopes
+
+
+def test_clean_control_kernel_produces_no_findings():
+    scopes = rules_by_scope(findings_for("bad_oob.py"))
+    assert "clean" not in scopes
+
+
+def test_barrier_fixture_flags_all_three_divergence_shapes():
+    findings = [f for f in findings_for("bad_barrier.py")
+                if f.rule == "KA-BARRIER"]
+    assert {f.scope for f in findings} == {
+        "item_divergent", "early_return_before_barrier", "data_divergent",
+    }
+    assert all(f.severity is Severity.ERROR for f in findings)
+
+
+def test_race_fixture_flags_uniform_write_statically():
+    findings = [f for f in findings_for("bad_race.py")
+                if f.rule == "KA-RACE"]
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.ERROR
+    # The diagnostic cross-cites the dynamic detector.
+    assert "racecheck" in findings[0].message
+
+
+def test_race_fixture_also_races_dynamically():
+    """The same seeded kernel trips the runtime RaceTracker: the static
+    rule and the dynamic detector agree on this bug."""
+    from tests.fixtures.analysis.bad_race import racy_accumulate
+
+    src = CheckedArray(np.arange(8, dtype=np.float64), name="src")
+    dst = CheckedArray(np.zeros(1, dtype=np.float64), name="dst")
+    with pytest.raises(RaceConditionError):
+        run_kernel(racy_accumulate, (8,), (8,), (src, dst, 8),
+                   device=W8000, race_check=True)
+
+
+def test_localmem_fixture_severity_split():
+    findings = {f.scope: f for f in findings_for("bad_localmem.py")
+                if f.rule == "KA-LOCALMEM"}
+    assert findings["fixture_localmem_always_over"].severity \
+        is Severity.ERROR
+    assert findings["fixture_localmem_sometimes_over"].severity \
+        is Severity.WARNING
+    assert "65536" in findings["fixture_localmem_always_over"].message
+
+
+def test_misc_fixture_flags_unused_and_uncoalesced():
+    rules = {f.rule for f in findings_for("bad_misc.py")}
+    assert "KA-UNUSED" in rules
+    assert "KA-COALESCE" in rules
+    unused = [f for f in findings_for("bad_misc.py")
+              if f.rule == "KA-UNUSED"]
+    assert "scratch" in unused[0].message
+
+
+def test_fixture_errors_would_fail_the_gate():
+    """Seeded-bug fixtures exit the driver non-zero (acceptance check)."""
+    errors = [
+        f
+        for name in ("bad_oob.py", "bad_barrier.py", "bad_race.py",
+                     "bad_localmem.py")
+        for f in findings_for(name)
+        if f.severity >= Severity.ERROR
+    ]
+    assert len(errors) >= 6

@@ -1,0 +1,61 @@
+"""Input validation of the NDRange sizing helpers in kernels.base."""
+
+import pytest
+
+from repro.errors import InvalidWorkGroupError
+from repro.kernels.base import ceil_div, pick_local_size, round_up
+from repro.simgpu.device import W8000
+
+
+def test_ceil_div_basic():
+    assert ceil_div(7, 4) == 2
+    assert ceil_div(8, 4) == 2
+    assert ceil_div(0, 4) == 0
+
+
+def test_ceil_div_rejects_negative_extent():
+    with pytest.raises(InvalidWorkGroupError, match="extent must be >= 0"):
+        ceil_div(-1, 4)
+
+
+def test_ceil_div_rejects_nonpositive_divisor():
+    with pytest.raises(InvalidWorkGroupError, match="divisor must be > 0"):
+        ceil_div(4, 0)
+    with pytest.raises(InvalidWorkGroupError, match="divisor must be > 0"):
+        ceil_div(4, -2)
+
+
+def test_round_up_basic():
+    assert round_up(5, 4) == 8
+    assert round_up(8, 4) == 8
+
+
+def test_round_up_rejects_negatives():
+    with pytest.raises(InvalidWorkGroupError, match="extent must be >= 0"):
+        round_up(-5, 4)
+    with pytest.raises(InvalidWorkGroupError, match="divisor must be > 0"):
+        round_up(5, -4)
+
+
+def test_pick_local_size_rejects_empty():
+    with pytest.raises(InvalidWorkGroupError, match="empty global size"):
+        pick_local_size((), W8000)
+
+
+def test_pick_local_size_1d_rejects_nonpositive_with_clear_message():
+    with pytest.raises(InvalidWorkGroupError) as exc:
+        pick_local_size((0,), W8000)
+    assert "must be positive in every dimension" in str(exc.value)
+    assert "(0,)" in str(exc.value)
+
+
+def test_pick_local_size_2d_rejects_nonpositive_dimension():
+    with pytest.raises(InvalidWorkGroupError,
+                       match="positive in every dimension"):
+        pick_local_size((64, -4), W8000)
+
+
+def test_pick_local_size_1d_still_divides():
+    (size,) = pick_local_size((192,), W8000)
+    assert 192 % size == 0
+    assert size <= W8000.max_workgroup_size

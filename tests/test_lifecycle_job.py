@@ -6,7 +6,6 @@ import json
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError, UsageError, ValidationError
@@ -26,7 +25,7 @@ from repro.lifecycle import (
 from repro.obs import RunContext
 from repro.resilience import FaultPlan
 from repro.util import images as synth
-from repro.util.io import read_pgm, write_pgm
+from repro.util.io import write_pgm
 
 FAST = LifecycleConfig(fsync=False)  # tmpfs tests don't need real fsync
 
@@ -71,7 +70,7 @@ class TestHappyPath:
     def test_frame_ids_are_input_names(self, tmp_path, frames_dir):
         job = make_job(tmp_path, frames_dir)
         assert job.frame_ids == [f"f{i:02d}.pgm" for i in range(6)]
-        outcome = job.run()
+        job.run()
         for fid, record in JobJournal.replay(job.job_dir).completed.items():
             assert record["output"] == fid
             assert record["backend"] == "gpu"

@@ -6,7 +6,6 @@ bytes a crash can leave behind.
 """
 
 import json
-import os
 
 import pytest
 from hypothesis import given, settings, strategies as st

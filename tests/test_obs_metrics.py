@@ -2,7 +2,6 @@
 
 import json
 import math
-import pathlib
 
 import pytest
 
@@ -142,7 +141,8 @@ class TestPrometheusText:
         text = reg.to_prometheus_text()
         assert r'path="a\\b\"c\nd"' in text
         # Exactly one physical line for the sample.
-        sample_lines = [l for l in text.splitlines() if l.startswith("c{")]
+        sample_lines = [ln for ln in text.splitlines()
+                        if ln.startswith("c{")]
         assert len(sample_lines) == 1
 
     def test_help_escaping(self):

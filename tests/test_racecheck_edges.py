@@ -1,0 +1,85 @@
+"""Edge cases of the dynamic race detector's epoch model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RaceConditionError
+from repro.simgpu.device import W8000
+from repro.simgpu.emulator import BARRIER, run_kernel
+from repro.simgpu.racecheck import RaceTracker, TrackedArray
+
+
+def test_same_item_read_after_write_is_legal():
+    """RAW within one work-item is ordinary sequential code, not a race."""
+    tracker = RaceTracker()
+    tracker.current_item = 3
+    tracker.on_write("buf", (0,))
+    tracker.on_read("buf", (0,))
+    tracker.on_write("buf", (0,))  # and WAW with itself is fine too
+
+
+def test_epoch_bump_resets_conflicts():
+    """A barrier (epoch bump) orders accesses: no cross-epoch conflicts."""
+    tracker = RaceTracker()
+    tracker.current_item = 0
+    tracker.on_write("buf", (0,))
+    tracker.bump()
+    tracker.current_item = 1
+    tracker.on_read("buf", (0,))   # same cell, next epoch: ordered
+    tracker.on_write("buf", (0,))
+
+
+def test_cross_item_conflict_without_bump_raises():
+    tracker = RaceTracker()
+    tracker.current_item = 0
+    tracker.on_write("buf", (0,))
+    tracker.current_item = 1
+    with pytest.raises(RaceConditionError):
+        tracker.on_write("buf", (0,))
+
+
+def test_read_read_sharing_is_never_a_race():
+    tracker = RaceTracker()
+    for item in range(4):
+        tracker.current_item = item
+        tracker.on_read("buf", (7,))
+
+
+def test_tracked_array_proxies_and_reports():
+    tracker = RaceTracker()
+    tracker.current_item = 0
+    arr = TrackedArray(np.zeros(4), "buf", tracker)
+    arr[1] = 5.0
+    assert arr[1] == 5.0
+    assert len(arr) == 4 and arr.shape == (4,)
+    tracker.current_item = 1
+    with pytest.raises(RaceConditionError, match=r"buf\[1\]"):
+        arr[1] = 6.0
+
+
+def _local_exchange(with_barrier):
+    def kernel(ctx, dst, scratch):
+        lid = ctx.get_local_id(0)
+        wg = ctx.get_local_size(0)
+        scratch[lid] = float(lid)
+        if with_barrier:
+            yield BARRIER
+        dst[ctx.get_global_id(0)] = scratch[(lid + 1) % wg]
+    return kernel
+
+
+def test_local_memory_is_tracked_neighbour_read_races():
+    """Reading a neighbour's local slot before the barrier is the classic
+    cooperative-tile bug; the tracker sees local memory too."""
+    dst = np.zeros(8)
+    with pytest.raises(RaceConditionError):
+        run_kernel(_local_exchange(False), (8,), (8,), (dst,),
+                   device=W8000, local_mem={"scratch": 8},
+                   race_check=True)
+
+
+def test_local_memory_exchange_with_barrier_is_clean():
+    dst = np.zeros(8)
+    run_kernel(_local_exchange(True), (8,), (8,), (dst,),
+               device=W8000, local_mem={"scratch": 8}, race_check=True)
+    assert list(dst) == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 0.0]
